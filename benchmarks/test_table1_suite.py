@@ -1,0 +1,92 @@
+"""Table 1 — the benchmark suite and its minimum-quality targets.
+
+Regenerates the suite table: per task, the FP32 reference quality and the
+quality retained by the rules-compliant INT8 (PTQ) and FP16 deployment
+models, gated at the paper's ratios (98% / 95% / 97% / 93% of FP32).
+
+Paper-shape assertions:
+- every vision task passes its gate at FP16;
+- classification and segmentation pass their gates at INT8;
+- MobileBERT *fails* its gate at INT8 but passes at FP16 (Insight 5).
+Known scale artifact (recorded, not asserted): the scaled detection models
+retain ~80-92% of FP32 at INT8, short of the paper's 93/95% targets
+(EXPERIMENTS.md discusses why).
+"""
+
+import pytest
+
+from repro.core.tasks import TASK_ORDER, get_task
+from repro.kernels import Numerics
+
+from conftest import save_result
+
+
+def _quality(harness, task, numerics):
+    spec = get_task(task)
+    acc = harness.run_accuracy(task, numerics).accuracy
+    return acc[spec.metric]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_quality_targets(benchmark, accuracy_harness):
+    harness = accuracy_harness
+
+    def run():
+        rows = {}
+        for task in TASK_ORDER:
+            spec = get_task(task)
+            fp32 = harness.fp32_accuracy(task)[spec.metric]
+            int8 = _quality(harness, task, Numerics.INT8)
+            fp16 = _quality(harness, task, Numerics.FP16)
+            rows[task] = {
+                "metric": spec.metric,
+                "fp32": fp32,
+                "int8": int8,
+                "fp16": fp16,
+                "ratio_int8": int8 / fp32,
+                "ratio_fp16": fp16 / fp32,
+                "target_ratio": spec.quality_ratio["v1.0"],
+                "paper_fp32": spec.paper_fp32_quality["v1.0"],
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table1_suite", rows)
+
+    print("\nTable 1 — quality vs targets (v1.0, scaled reference models)")
+    print(f"{'task':<26}{'metric':>7}{'fp32':>8}{'int8':>8}{'fp16':>8}"
+          f"{'int8%':>8}{'fp16%':>8}{'gate':>6}")
+    for task, r in rows.items():
+        print(f"{task:<26}{r['metric']:>7}{r['fp32']:>8.2f}{r['int8']:>8.2f}"
+              f"{r['fp16']:>8.2f}{r['ratio_int8']*100:>8.1f}{r['ratio_fp16']*100:>8.1f}"
+              f"{r['target_ratio']*100:>6.0f}")
+
+    # FP16 always meets the gate (it is numerically near-FP32)
+    for task in TASK_ORDER:
+        assert rows[task]["ratio_fp16"] >= rows[task]["target_ratio"], task
+
+    # INT8 passes the vision gates the paper says it passes
+    assert rows["image_classification"]["ratio_int8"] >= 0.98
+    assert rows["semantic_segmentation"]["ratio_int8"] >= 0.97
+
+    # Insight 5: NLP INT8 misses its gate while FP16 clears it
+    assert rows["question_answering"]["ratio_int8"] < 0.93
+    assert rows["question_answering"]["ratio_fp16"] >= 0.93
+
+    # detection: INT8 degrades measurably but the model remains functional
+    # (scale artifact; see EXPERIMENTS.md)
+    assert 0.6 <= rows["object_detection"]["ratio_int8"] <= 1.05
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fp32_reference_near_paper(benchmark, accuracy_harness):
+    """The tuned generators land FP32 quality near the paper's reference."""
+    harness = accuracy_harness
+
+    def run():
+        spec = get_task("image_classification")
+        return harness.fp32_accuracy("image_classification")[spec.metric]
+
+    top1 = benchmark.pedantic(run, rounds=1, iterations=1)
+    # paper FP32 reference: 76.19% Top-1
+    assert 70.0 <= top1 <= 82.0

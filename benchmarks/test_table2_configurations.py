@@ -1,0 +1,125 @@
+"""Table 2 — execution configurations and the offline ALP numbers.
+
+Regenerates the transparency grid (numerics / framework / accelerators per
+SoC per task) and the offline image-classification throughput anchors:
+Exynos 990 674.4 FPS vs Snapdragon 865+ 605.37 FPS, both produced by
+accelerator-level parallelism (NPU+CPU and HTA+HVX respectively).
+"""
+
+import pytest
+
+from repro.analysis import measure_offline, measure_single_stream, table2_configurations
+from repro.hardware import get_soc
+from repro.hardware.scheduler import offline_throughput
+from repro.backends import default_backend_for
+from repro.analysis import full_graph_cache
+
+from conftest import BENCH_SETTINGS, save_result
+
+# the exact cells the paper prints (Table 2, v0.7 round)
+PAPER_CELLS = {
+    ("exynos_990", "image_classification"): "INT8, ENN, NPU",
+    ("exynos_990", "question_answering"): "FP16, ENN, GPU",
+    ("snapdragon_865plus", "image_classification"): "UINT8, SNPE, HTA",
+    ("snapdragon_865plus", "question_answering"): "FP16, TFLite delegate, GPU",
+    ("dimensity_820", "image_classification"): "UINT8, NNAPI, APU",
+    ("dimensity_820", "question_answering"): "FP16, TFLite delegate, GPU",
+    ("core_i7_1165g7", "image_classification"): "INT8, OpenVINO, CPU",
+    ("core_i7_1165g7", "question_answering"): "INT8, OpenVINO, GPU",
+}
+
+PAPER_OFFLINE = {"exynos_990": 674.4, "snapdragon_865plus": 605.37}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_config_grid(benchmark):
+    grid = benchmark.pedantic(table2_configurations, args=("v0.7",),
+                              rounds=1, iterations=1)
+    save_result("table2_configurations", grid)
+    print("\nTable 2 — execution configurations (v0.7)")
+    for soc, row in grid.items():
+        print(f"{soc}:")
+        for task, cell in row.items():
+            print(f"   {task:<34} {cell}")
+    for (soc, task), want in PAPER_CELLS.items():
+        assert grid[soc][task] == want, (soc, task)
+    # offline classification uses multiple engines (ALP) on every phone
+    assert "+" in grid["exynos_990"]["image_classification_offline"]
+    assert grid["snapdragon_865plus"]["image_classification_offline"].endswith("HTA+HVX")
+    assert grid["core_i7_1165g7"]["image_classification_offline"].endswith("CPU+GPU")
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_offline_anchors(benchmark):
+    def run():
+        return {
+            soc: measure_offline(soc, "image_classification")
+            for soc in ("exynos_990", "snapdragon_865plus")
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table2_offline", rows)
+    print("\nTable 2 — offline classification throughput")
+    for soc, r in rows.items():
+        print(f"{soc:<22} {r['offline_fps']:8.1f} FPS  (paper: {PAPER_OFFLINE[soc]})"
+              f"  via {r['config']}")
+
+    ex = rows["exynos_990"]["offline_fps"]
+    sd = rows["snapdragon_865plus"]["offline_fps"]
+    # ordering and rough magnitude of the published anchors
+    assert ex > sd
+    assert ex == pytest.approx(PAPER_OFFLINE["exynos_990"], rel=0.15)
+    assert sd == pytest.approx(PAPER_OFFLINE["snapdragon_865plus"], rel=0.15)
+    assert ex / sd == pytest.approx(674.4 / 605.37, rel=0.1)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_alp_beats_single_engine(benchmark):
+    """Insight 3: concurrent accelerators raise offline throughput."""
+
+    def run():
+        g = full_graph_cache("mobilenet_edgetpu")
+        out = {}
+        for soc_name in ("exynos_990", "snapdragon_865plus", "core_i7_1165g7"):
+            soc = get_soc(soc_name)
+            be = default_backend_for(soc)
+            pipes = be.compile_offline(g, "image_classification")
+            # compare raw engine throughput (uncapped): ALP's gain is real
+            # even when the shared DRAM interface ultimately caps both
+            alp = offline_throughput(pipes, dram_gbps=1e9)
+            solo = offline_throughput(pipes[:1], dram_gbps=1e9)
+            out[soc_name] = {"alp_fps": alp, "best_single_fps": solo,
+                             "gain": alp / solo}
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table2_alp_gain", rows)
+    for soc, r in rows.items():
+        print(f"{soc:<22} ALP {r['alp_fps']:8.1f} vs single {r['best_single_fps']:8.1f} "
+              f"({r['gain']:.2f}x)")
+        assert r["gain"] > 1.0, f"ALP must add throughput on {soc}"
+
+    # single-stream does NOT use ALP (coordination overhead, §7.3): the
+    # configured single-stream accelerator list is one engine (+fallbacks)
+    for soc_name in ("exynos_990", "snapdragon_865plus"):
+        be = default_backend_for(get_soc(soc_name))
+        cfg = be.task_execution("image_classification")
+        assert len(cfg.single_stream) == 1
+        assert len(cfg.offline) > 1
+
+
+@pytest.mark.benchmark(group="table2")
+def test_offline_faster_than_single_stream_everywhere(benchmark):
+    def run():
+        out = {}
+        for soc in ("exynos_990", "snapdragon_865plus", "dimensity_820"):
+            ss = measure_single_stream(soc, "image_classification",
+                                       settings=BENCH_SETTINGS)
+            off = measure_offline(soc, "image_classification")
+            out[soc] = {"single_stream_fps": ss["throughput_fps"],
+                        "offline_fps": off["offline_fps"]}
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for soc, r in rows.items():
+        assert r["offline_fps"] > r["single_stream_fps"], soc

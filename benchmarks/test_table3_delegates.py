@@ -1,0 +1,86 @@
+"""Table 3 — NNAPI vs the vendor-optimized Neuron delegate (Dimensity 1100).
+
+Paper values (ms):        NNAPI   Neuron   improvement
+  image classification     2.48     2.23     10.08%
+  object detection         5.05     4.77      5.54%
+  image segmentation      20.56    20.02      2.70%
+
+Shape assertions: the vendor delegate wins on every vision task, and the
+relative gap SHRINKS as the model gets bigger (the fixed HAL round-trip
+amortizes; §7.4). Absolute latencies must land within 2x of the paper's.
+"""
+
+import pytest
+
+from repro.analysis import table3_delegate_comparison
+
+from conftest import BENCH_SETTINGS, save_result
+
+PAPER = {
+    "image_classification": (2.48, 2.23, 10.08),
+    "object_detection": (5.05, 4.77, 5.54),
+    "semantic_segmentation": (20.56, 20.02, 2.70),
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_delegate_gap(benchmark):
+    t3 = benchmark.pedantic(
+        table3_delegate_comparison, kwargs={"settings": BENCH_SETTINGS},
+        rounds=1, iterations=1,
+    )
+    save_result("table3_delegates", t3)
+
+    print("\nTable 3 — Dimensity 1100, NNAPI vs Neuron delegate")
+    print(f"{'task':<26}{'NNAPI ms':>10}{'Neuron ms':>11}{'gain %':>8}{'paper %':>9}")
+    for task, (p_nnapi, p_neuron, p_gain) in PAPER.items():
+        print(f"{task:<26}{t3['nnapi'][task]:>10.2f}{t3['neuron'][task]:>11.2f}"
+              f"{t3['improvement_pct'][task]:>8.2f}{p_gain:>9.2f}")
+
+    tasks = list(PAPER)
+    # vendor delegate wins everywhere
+    for task in tasks:
+        assert t3["improvement_pct"][task] > 0, task
+    # the gap shrinks with model size: classification > detection > segmentation
+    gaps = [t3["improvement_pct"][t] for t in tasks]
+    assert gaps[0] > gaps[1] > gaps[2], f"gap must decrease with size, got {gaps}"
+    # classification gap in the paper's ~10% neighbourhood
+    assert 5.0 <= gaps[0] <= 20.0
+    # absolute latencies within 2x of the published numbers
+    for task, (p_nnapi, p_neuron, _) in PAPER.items():
+        assert t3["nnapi"][task] == pytest.approx(p_nnapi, rel=1.0)
+        assert t3["neuron"][task] == pytest.approx(p_neuron, rel=1.0)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_ablation_sync_overhead_drives_the_gap(benchmark):
+    """DESIGN.md ablation 2: zeroing the HAL sync collapses Table 3's gap."""
+    from repro.analysis import full_graph_cache
+    from repro.backends import create_backend
+    from repro.hardware import FrameworkProfile, SimulatedDevice, get_soc
+    from repro.hardware.scheduler import compile_model
+
+    def run():
+        soc = get_soc("dimensity_1100")
+        g = full_graph_cache("mobilenet_edgetpu")
+        neuron = create_backend("neuron", soc).compile_single_stream(
+            g, "image_classification")
+        nnapi = create_backend("nnapi", soc).compile_single_stream(
+            g, "image_classification")
+        free_nnapi = compile_model(
+            g, soc, primary="apu", numerics=nnapi.numerics,
+            framework=FrameworkProfile("nnapi-zero-sync"),
+        )
+        return {
+            "neuron_ms": neuron.latency_seconds() * 1e3,
+            "nnapi_ms": nnapi.latency_seconds() * 1e3,
+            "nnapi_zero_sync_ms": free_nnapi.latency_seconds() * 1e3,
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table3_ablation_sync", r)
+    gap = r["nnapi_ms"] / r["neuron_ms"] - 1
+    gap_zeroed = r["nnapi_zero_sync_ms"] / r["neuron_ms"] - 1
+    print(f"\nsync ablation: gap {gap*100:.1f}% -> {gap_zeroed*100:.1f}% with zero sync")
+    assert gap > 0.05
+    assert gap_zeroed < gap / 3  # the gap is (almost entirely) the sync cost

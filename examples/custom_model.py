@@ -1,0 +1,63 @@
+"""Model designers: package a custom network and measure it on real devices.
+
+The paper's Appendix B describes model designers using the app + LoadGen to
+evaluate new architectures on devices instead of guessing from op counts.
+This example builds a custom small classifier with the public graph API,
+exports it, and compares its simulated single-stream latency across every
+SoC in the catalog — then shows why op counts alone mislead (two models
+with similar MACs but different structure land far apart).
+
+Usage:
+    python examples/custom_model.py
+"""
+
+from repro.graph import GraphBuilder, export_mobile
+from repro.hardware import SOC_CATALOG, SimulatedDevice, get_soc
+from repro.hardware.scheduler import FrameworkProfile, compile_model
+from repro.kernels import Numerics
+
+
+def build_custom(name: str, *, stages: int, width: int, kernel: int):
+    b = GraphBuilder(name, seed=42)
+    x = b.input("images", (-1, 224, 224, 3))
+    h = b.conv(x, width, k=3, stride=2, activation="relu6", use_bn=True)
+    for i in range(stages):
+        h = b.dwconv(h, k=kernel, stride=2 if i % 2 == 0 else 1,
+                     activation="relu6", use_bn=True)
+        h = b.conv(h, width * (i + 2), k=1, activation="relu6", use_bn=True)
+    h = b.global_pool(h)
+    h = b.reshape(h, (b.graph.spec(h).shape[-1],))
+    h = b.fc(h, 1000)
+    out = b.softmax(h)
+    b.outputs(out)
+    return export_mobile(b.build())
+
+
+def main() -> None:
+    # two designs with comparable MACs: few wide stages vs many narrow ones
+    chunky = build_custom("chunky", stages=4, width=48, kernel=5)
+    slim = build_custom("slim", stages=8, width=24, kernel=3)
+    print(f"chunky: {chunky.total_macs/1e6:7.1f} MMACs, {len(chunky.ops)} ops")
+    print(f"slim:   {slim.total_macs/1e6:7.1f} MMACs, {len(slim.ops)} ops")
+
+    fw = FrameworkProfile("custom-app")
+    print(f"\n{'soc':<22}{'chunky ms':>11}{'slim ms':>10}")
+    for soc_name, soc in sorted(SOC_CATALOG.items()):
+        primary = next(
+            (a.name for a in soc.accelerators if a.kind in ("npu", "apu", "hta")), "cpu"
+        )
+        row = []
+        for graph in (chunky, slim):
+            cm = compile_model(graph, soc, primary=primary,
+                               numerics=Numerics.INT8, framework=fw)
+            row.append(SimulatedDevice(soc).run_query(cm).latency_seconds * 1e3)
+        print(f"{soc_name:<22}{row[0]:>11.2f}{row[1]:>10.2f}")
+
+    print("\nsimilar MACs, different latency: per-op dispatch overheads and")
+    print("memory traffic — not raw arithmetic — separate the two designs,")
+    print("which is exactly why the paper argues for on-device measurement")
+    print("over op-count heuristics (Appendix B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""The Appendix E roadmap, runnable today.
+
+Runs the *experimental* round — streaming speech recognition (the mobile
+RNN-T the paper lists as in-the-works) and super-resolution — through the
+exact same harness, LoadGen, and quality-gate machinery as the published
+suite, then inspects the models with the graph-summary tool (App. B: model
+designers sizing networks for real devices).
+
+Usage:
+    python examples/future_tasks.py [soc_name]
+"""
+
+import sys
+
+from repro.core import QUICK_RULES, BenchmarkHarness, format_report
+from repro.graph import export_mobile, graph_summary
+from repro.hardware import SOC_CATALOG
+from repro.models import create_full_model
+
+
+def main() -> None:
+    soc = sys.argv[1] if len(sys.argv) > 1 else "apple_a14"
+    if soc not in SOC_CATALOG:
+        raise SystemExit(f"unknown SoC {soc!r}; pick one of {sorted(SOC_CATALOG)}")
+
+    print("experimental round: speech recognition + super resolution")
+    harness = BenchmarkHarness(
+        version="experimental", rules=QUICK_RULES,
+        dataset_sizes={"speech": 64, "superres": 32},
+    )
+    suite = harness.run_suite(soc)
+    print()
+    print(format_report(suite))
+
+    print("\nfull-size model structure (what the perf simulator schedules):")
+    for model in ("mobile_streaming_asr", "mobile_edge_sr"):
+        print()
+        print(graph_summary(export_mobile(create_full_model(model).graph),
+                            max_rows=6))
+
+
+if __name__ == "__main__":
+    main()

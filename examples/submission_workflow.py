@@ -1,0 +1,70 @@
+"""The full submission lifecycle (paper §6.2 and App. E rolling submissions).
+
+Plays both sides of the process:
+1. a vendor runs the suite and packages a submission (unedited logs, model
+   provenance checksums, system description);
+2. the submission checker enforces the rules;
+3. the independent auditor rebuilds, reruns on a factory-reset device, and
+   accepts only if the reproduced scores land within 5%;
+4. the accepted result enters the rolling-submission log;
+5. a falsified variant is rejected at audit.
+
+Usage:
+    python examples/submission_workflow.py
+"""
+
+from repro.core import (
+    QUICK_RULES,
+    BenchmarkHarness,
+    RollingSubmissionLog,
+    SystemDescription,
+    audit_submission,
+    build_submission,
+    check_submission,
+)
+
+
+def main() -> None:
+    harness = BenchmarkHarness(
+        version="v1.0",
+        rules=QUICK_RULES,
+        dataset_sizes={"imagenet": 128, "coco": 48, "ade20k": 32, "squad": 64},
+    )
+
+    print("1) vendor runs the benchmark suite...")
+    suite = harness.run_suite(
+        "exynos_2100", tasks=["question_answering"],
+        include_offline=False,
+    )
+    system = SystemDescription(
+        submitter="samsung", soc_name="exynos_2100", device_name="Galaxy S21",
+        form_factor="smartphone", os_name="Android 11",
+    )
+    submission = build_submission(harness, suite, system)
+    print(f"   packaged {len(suite.results)} results with provenance checksums")
+
+    print("2) submission checker...")
+    problems = check_submission(submission)
+    print("   " + ("clean" if not problems else "; ".join(problems)))
+
+    print("3) independent audit (rebuild + rerun on factory-reset device)...")
+    report = audit_submission(submission, harness)
+    print("   " + report.summary().replace("\n", "\n   "))
+
+    print("4) rolling submission log...")
+    rolling = RollingSubmissionLog()
+    sid = rolling.submit(submission)
+    board = rolling.leaderboard("question_answering", "v1.0")
+    print(f"   accepted as submission #{sid}; QA leaderboard: {board}")
+
+    print("5) a falsified submission (latency halved) ...")
+    result = submission.suite.results[0]
+    result.latency_p90_ms *= 0.5
+    bad_report = audit_submission(submission, harness)
+    verdict = "REJECTED" if not bad_report.passed else "accepted (bug!)"
+    print(f"   audit verdict: {verdict}")
+    result.latency_p90_ms *= 2.0  # restore
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Evaluation-artifact regeneration: the paper's figures and tables as code."""
+
+from .evaluation import (
+    PERF_SETTINGS,
+    ai_tax_breakdown,
+    developer_options_comparison,
+    figure6_generational_speedups,
+    figure7_single_stream,
+    full_graph_cache,
+    measure_offline,
+    measure_single_stream,
+    table2_configurations,
+    table3_delegate_comparison,
+)
+from .charts import bar_chart, grouped_bar_chart
+from .report import evaluation_report
+from .related_work import (
+    PRIOR_BENCHMARKS,
+    REQUIREMENTS,
+    mlperf_feature_selfcheck,
+    table4_grid,
+)
+
+__all__ = [
+    "PERF_SETTINGS",
+    "ai_tax_breakdown",
+    "developer_options_comparison",
+    "measure_single_stream",
+    "measure_offline",
+    "full_graph_cache",
+    "figure6_generational_speedups",
+    "figure7_single_stream",
+    "table2_configurations",
+    "table3_delegate_comparison",
+    "REQUIREMENTS",
+    "PRIOR_BENCHMARKS",
+    "mlperf_feature_selfcheck",
+    "table4_grid",
+    "bar_chart",
+    "grouped_bar_chart",
+    "evaluation_report",
+]

@@ -1,0 +1,53 @@
+"""Terminal chart rendering for the regenerated figures.
+
+The paper's Figures 6-7 are bar charts; a headless benchmark can still show
+their shape. Pure-text, deterministic width, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+
+def bar_chart(
+    values: dict[str, float],
+    *,
+    width: int = 48,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar values must be positive")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "█" * max(1, round(value / peak * width))
+        lines.append(f"{key:<{label_w}} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: dict[str, dict[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """One bar block per group (e.g. per task), series within the group."""
+    if not groups:
+        raise ValueError("nothing to chart")
+    peak = max(v for series in groups.values() for v in series.values())
+    if peak <= 0:
+        raise ValueError("bar values must be positive")
+    label_w = max(len(k) for series in groups.values() for k in series)
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for key, value in series.items():
+            bar = "█" * max(1, round(value / peak * width))
+            lines.append(f"  {key:<{label_w}} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

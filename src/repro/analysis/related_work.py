@@ -1,0 +1,81 @@
+"""Table 4: the requirement grid versus prior mobile AI benchmarks.
+
+The five requirements of §8, and which prior benchmark meets which, as the
+paper reports. ``mlperf_feature_selfcheck`` verifies that *this repository*
+actually implements each requirement it claims — the grid row for MLPerf
+Mobile is computed, not hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["REQUIREMENTS", "PRIOR_BENCHMARKS", "mlperf_feature_selfcheck", "table4_grid"]
+
+REQUIREMENTS = {
+    1: "system-level ML benchmark",
+    2: "accuracy first: performance at a minimum quality target",
+    3: "open source with auditable submissions",
+    4: "supports vendor backends/SDKs plus NNAPI/TFLite delegates",
+    5: "driven and audited by the industry",
+}
+
+# rows transcribed from Table 4 (True = requirement met)
+PRIOR_BENCHMARKS: dict[str, dict[int, bool]] = {
+    "Aitutu": {1: True, 2: False, 3: False, 4: True, 5: False},
+    "AI-Benchmark": {1: True, 2: False, 3: False, 4: False, 5: False},
+    "AIMark": {1: True, 2: False, 3: False, 4: True, 5: False},
+    "Android MLTS": {1: False, 2: False, 3: True, 4: True, 5: False},
+    "GeekBenchML": {1: True, 2: False, 3: False, 4: False, 5: False},
+    "Neural Scope": {1: True, 2: False, 3: False, 4: False, 5: False},
+    "TF Lite": {1: False, 2: False, 3: True, 4: True, 5: False},
+    "UL Procyon AI": {1: True, 2: False, 3: False, 4: False, 5: False},
+    "Xiaomi": {1: True, 2: False, 3: True, 4: False, 5: False},
+}
+
+
+def mlperf_feature_selfcheck() -> dict[int, bool]:
+    """Prove each claimed requirement exists in this codebase."""
+    checks: dict[int, bool] = {}
+
+    # req 1: end-to-end system benchmark — harness drives full pre/infer/post
+    from ..core.harness import BenchmarkHarness
+    from ..backends.base import POSTPROCESS_CPU_OPS
+    checks[1] = callable(getattr(BenchmarkHarness, "run_suite", None)) and bool(
+        POSTPROCESS_CPU_OPS
+    )
+
+    # req 2: accuracy-first — the published rounds gate at >=93% of FP32
+    # (experimental App. E tasks may pilot softer ratios)
+    from ..core.tasks import TASKS
+    checks[2] = all(
+        ratio >= 0.93
+        for spec in TASKS.values()
+        for version, ratio in spec.quality_ratio.items()
+        if version in ("v0.7", "v1.0")
+    )
+
+    # req 3: open source + auditable — submission checker and audit exist
+    from ..core.submission import check_submission
+    from ..core.audit import audit_submission
+    checks[3] = callable(check_submission) and callable(audit_submission)
+
+    # req 4: vendor backends AND generic delegates
+    from ..backends.vendors import BACKEND_FACTORIES
+    vendor_backends = {"enn", "snpe", "neuron", "openvino"}
+    generic = {"nnapi", "tflite"}
+    checks[4] = vendor_backends <= set(BACKEND_FACTORIES) and generic <= set(
+        BACKEND_FACTORIES
+    )
+
+    # req 5: industry driven/audited — the audit reproduces results within 5%
+    from ..core.rules import DEFAULT_RULES
+    checks[5] = DEFAULT_RULES.audit_tolerance == 0.05
+
+    return checks
+
+
+def table4_grid() -> dict[str, dict[int, bool]]:
+    grid = dict(PRIOR_BENCHMARKS)
+    grid["MLPerf Mobile"] = mlperf_feature_selfcheck()
+    return grid

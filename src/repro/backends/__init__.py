@@ -1,0 +1,27 @@
+"""Backend layer: vendor SDKs, delegates and the reference TFLite backend."""
+
+from .base import (
+    POSTPROCESS_CPU_OPS,
+    PREPROCESS_CPU_OPS,
+    Backend,
+    BackendConfig,
+    TaskExecution,
+)
+from .vendors import (
+    BACKEND_FACTORIES,
+    available_backends,
+    create_backend,
+    default_backend_for,
+)
+
+__all__ = [
+    "Backend",
+    "BackendConfig",
+    "TaskExecution",
+    "POSTPROCESS_CPU_OPS",
+    "PREPROCESS_CPU_OPS",
+    "BACKEND_FACTORIES",
+    "available_backends",
+    "create_backend",
+    "default_backend_for",
+]

@@ -1,0 +1,94 @@
+"""Independent result audit (paper §6.2).
+
+The auditor rebuilds the vendor app from the submitted configuration,
+installs it on a factory-reset device, reruns the benchmark, and accepts
+the submission if the reproduced numbers land within 5% of the submitted
+scores. Accuracy is reproduced exactly (deterministic pipeline); latency and
+throughput tolerate the 5% band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import BenchmarkHarness
+from .results import SuiteResult
+from .submission import Submission, check_submission
+
+__all__ = ["AuditFinding", "AuditReport", "audit_submission"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    task: str
+    quantity: str
+    submitted: float
+    reproduced: float
+    relative_error: float
+    within_tolerance: bool
+
+
+@dataclass
+class AuditReport:
+    submission_ok: bool
+    checker_problems: list[str]
+    findings: list[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.submission_ok and all(f.within_tolerance for f in self.findings)
+
+    def summary(self) -> str:
+        status = "VALID" if self.passed else "REJECTED"
+        lines = [f"audit result: {status}"]
+        lines += [f"  checker: {p}" for p in self.checker_problems]
+        for f in self.findings:
+            flag = "ok" if f.within_tolerance else "OUT OF TOLERANCE"
+            lines.append(
+                f"  {f.task}/{f.quantity}: submitted {f.submitted:.3f} vs "
+                f"reproduced {f.reproduced:.3f} ({f.relative_error * 100:.2f}%) {flag}"
+            )
+        return "\n".join(lines)
+
+
+def _compare(task: str, quantity: str, submitted: float, reproduced: float,
+             tolerance: float) -> AuditFinding:
+    denom = max(abs(submitted), 1e-12)
+    rel = abs(submitted - reproduced) / denom
+    return AuditFinding(task, quantity, submitted, reproduced, rel, rel <= tolerance)
+
+
+def audit_submission(
+    submission: Submission,
+    harness: BenchmarkHarness,
+    *,
+    tolerance: float | None = None,
+) -> AuditReport:
+    """Rerun the submitted configuration and verify the scores."""
+    tolerance = tolerance if tolerance is not None else harness.rules.audit_tolerance
+    problems = check_submission(submission)
+    report = AuditReport(submission_ok=not problems, checker_problems=problems)
+
+    # rebuild + rerun on a fresh (factory-reset) simulated device
+    reproduced: SuiteResult = harness.run_suite(
+        submission.system.soc_name,
+        backend_name=submission.suite.backend_name,
+        tasks=[r.task for r in submission.suite.results],
+        include_offline=any(r.offline_fps for r in submission.suite.results),
+    )
+    for sub_r in submission.suite.results:
+        rep_r = reproduced.result_for(sub_r.task)
+        report.findings.append(
+            _compare(sub_r.task, "quality", sub_r.measured_quality,
+                     rep_r.measured_quality, tolerance)
+        )
+        report.findings.append(
+            _compare(sub_r.task, "latency_p90_ms", sub_r.latency_p90_ms,
+                     rep_r.latency_p90_ms, tolerance)
+        )
+        if sub_r.offline_fps:
+            report.findings.append(
+                _compare(sub_r.task, "offline_fps", sub_r.offline_fps,
+                         rep_r.offline_fps, tolerance)
+            )
+    return report

@@ -1,0 +1,91 @@
+"""On-disk submission bundles.
+
+Writes a submission the way the real process ships one: a directory holding
+the system description, per-task unedited LoadGen log files, model
+provenance checksums and a summary — everything the auditors receive
+(paper §6.2: "Submissions include all of the mobile benchmark app's log
+files, unedited").
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..loadgen.logging import LoadGenLog, QueryRecord
+from .results import BenchmarkResult, SuiteResult
+from .submission import Submission, SystemDescription
+
+__all__ = ["write_submission", "load_submission_summary", "load_log"]
+
+
+def _write_json(path: pathlib.Path, payload) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+
+
+def write_submission(submission: Submission, directory: str | pathlib.Path) -> pathlib.Path:
+    """Serialize a submission bundle; returns the bundle root."""
+    root = pathlib.Path(directory)
+    sysd = submission.system
+    _write_json(root / "system.json", {
+        "submitter": sysd.submitter,
+        "soc": sysd.soc_name,
+        "device": sysd.device_name,
+        "form_factor": sysd.form_factor,
+        "os": sysd.os_name,
+        "commercially_available": sysd.commercially_available,
+        "factory_reset": sysd.factory_reset,
+    })
+    _write_json(root / "provenance.json", {
+        "version": submission.version,
+        "loadgen_checksum": submission.loadgen_checksum,
+        "models": submission.model_provenance,
+    })
+    summary = []
+    for result in submission.suite.results:
+        task_dir = root / "results" / result.task
+        for log, name in (
+            (result.accuracy_log, "accuracy_log.json"),
+            (result.performance_log, "performance_log.json"),
+            (result.offline_log, "offline_log.json"),
+        ):
+            if log is not None:
+                _write_json(task_dir / name, log.to_dict())
+        summary.append(result.to_summary())
+    _write_json(root / "summary.json", summary)
+    return root
+
+
+def load_submission_summary(directory: str | pathlib.Path) -> list[dict]:
+    with open(pathlib.Path(directory) / "summary.json") as fh:
+        return json.load(fh)
+
+
+def load_log(path: str | pathlib.Path) -> LoadGenLog:
+    """Rehydrate an unedited log file back into a :class:`LoadGenLog`.
+
+    Round-tripping matters: the audit can revalidate logs from disk exactly
+    as they were submitted.
+    """
+    with open(path) as fh:
+        raw = json.load(fh)
+    log = LoadGenLog(
+        scenario=raw["scenario"],
+        mode=raw["mode"],
+        task=raw["task"],
+        model_name=raw["model"],
+        sut_name=raw["sut"],
+        seed=raw["seed"],
+        min_query_count=raw["min_query_count"],
+        min_duration_s=raw["min_duration_s"],
+    )
+    log.offline_samples = raw.get("offline_samples", 0)
+    log.offline_seconds = raw.get("offline_seconds", 0.0)
+    log.energy_joules = raw.get("energy_joules", 0.0)
+    log.accuracy = dict(raw.get("accuracy", {}))
+    log.metadata = dict(raw.get("metadata", {}))
+    for issue, latency, indices, temp in raw.get("records", []):
+        log.records.append(QueryRecord(issue, latency, tuple(indices), temp))
+    return log

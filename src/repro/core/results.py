@@ -1,0 +1,105 @@
+"""Benchmark result records and report rendering (paper Figure 8c-e).
+
+A :class:`BenchmarkResult` carries everything the app surfaces for one task:
+quality versus target, the performance numbers, the transparent execution
+configuration (numerics/framework/accelerators), and the unedited logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..loadgen.logging import LoadGenLog
+
+__all__ = ["BenchmarkResult", "SuiteResult", "format_report"]
+
+
+@dataclass
+class BenchmarkResult:
+    task: str
+    version: str
+    model_name: str
+    soc_name: str
+    backend_name: str
+    execution_config: str  # the Table-2 cell: numerics, framework, accelerators
+    numerics: str
+    # accuracy mode
+    accuracy: dict[str, float] = field(default_factory=dict)
+    fp32_accuracy: dict[str, float] = field(default_factory=dict)
+    metric: str = ""
+    quality_target: float = 0.0
+    quality_passed: bool = False
+    # performance mode
+    latency_p90_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    throughput_fps: float = 0.0
+    offline_fps: float = 0.0
+    energy_per_query_mj: float = 0.0
+    # provenance
+    accuracy_log: LoadGenLog | None = None
+    performance_log: LoadGenLog | None = None
+    offline_log: LoadGenLog | None = None
+
+    @property
+    def measured_quality(self) -> float:
+        return self.accuracy.get(self.metric, 0.0)
+
+    def to_summary(self) -> dict:
+        return {
+            "task": self.task,
+            "version": self.version,
+            "model": self.model_name,
+            "soc": self.soc_name,
+            "backend": self.backend_name,
+            "config": self.execution_config,
+            "metric": self.metric,
+            "quality": round(self.measured_quality, 3),
+            "quality_target": round(self.quality_target, 3),
+            "quality_passed": self.quality_passed,
+            "latency_p90_ms": round(self.latency_p90_ms, 3),
+            "throughput_fps": round(self.throughput_fps, 2),
+            "offline_fps": round(self.offline_fps, 2),
+            "energy_per_query_mj": round(self.energy_per_query_mj, 3),
+        }
+
+
+@dataclass
+class SuiteResult:
+    soc_name: str
+    backend_name: str
+    version: str
+    results: list[BenchmarkResult] = field(default_factory=list)
+
+    def result_for(self, task: str) -> BenchmarkResult:
+        for r in self.results:
+            if r.task == task:
+                return r
+        raise KeyError(f"no result for task {task!r}")
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.quality_passed for r in self.results)
+
+
+def format_report(suite: SuiteResult) -> str:
+    """Human-readable results screen (the headless analogue of Fig. 8c)."""
+    lines = [
+        f"MLPerf Mobile {suite.version} — {suite.soc_name} via {suite.backend_name}",
+        "=" * 78,
+        f"{'task':<26}{'quality':>10}{'target':>9}{'pass':>6}"
+        f"{'p90 ms':>10}{'fps':>9}{'mJ/q':>8}",
+        "-" * 78,
+    ]
+    for r in suite.results:
+        lines.append(
+            f"{r.task:<26}{r.measured_quality:>10.2f}{r.quality_target:>9.2f}"
+            f"{'yes' if r.quality_passed else 'NO':>6}"
+            f"{r.latency_p90_ms:>10.2f}{r.throughput_fps:>9.1f}"
+            f"{r.energy_per_query_mj:>8.2f}"
+        )
+        lines.append(f"   config: {r.execution_config}")
+        if r.offline_fps:
+            lines.append(f"   offline throughput: {r.offline_fps:.1f} FPS")
+    lines.append("-" * 78)
+    lines.append(f"suite quality: {'ALL PASSED' if suite.all_passed else 'FAILURES PRESENT'}")
+    return "\n".join(lines)

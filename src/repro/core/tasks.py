@@ -1,0 +1,123 @@
+"""The benchmark-suite registry (paper Table 1).
+
+Each task names its reference model per benchmark version, its data set, its
+quality metric and the minimum-quality ratio relative to measured FP32
+accuracy. The ratio-based gate is exactly the paper's rule ("98% of FP32"),
+so it transfers unchanged onto the scaled reference models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskSpec", "TASKS", "TASK_ORDER", "FULL_TASK_ORDER",
+           "tasks_for_version", "get_task"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    name: str
+    area: str  # "Vision" | "Language"
+    display_name: str
+    dataset: str
+    metric: str
+    # model per benchmark version; None = task absent from that round
+    models: dict[str, str | None]
+    # minimum fraction of measured FP32 quality per version (Table 1)
+    quality_ratio: dict[str, float]
+    # paper-reported FP32 reference quality (for EXPERIMENTS.md comparison)
+    paper_fp32_quality: dict[str, float]
+    offline_scenario: bool = False  # paper: offline applies to classification
+
+
+TASKS: dict[str, TaskSpec] = {
+    "image_classification": TaskSpec(
+        name="image_classification",
+        area="Vision",
+        display_name="Image classification",
+        dataset="imagenet",
+        metric="top1",
+        models={"v0.7": "mobilenet_edgetpu", "v1.0": "mobilenet_edgetpu"},
+        quality_ratio={"v0.7": 0.98, "v1.0": 0.98},
+        paper_fp32_quality={"v0.7": 76.19, "v1.0": 76.19},
+        offline_scenario=True,
+    ),
+    "object_detection": TaskSpec(
+        name="object_detection",
+        area="Vision",
+        display_name="Object detection",
+        dataset="coco",
+        metric="mAP",
+        models={"v0.7": "ssd_mobilenet_v2", "v1.0": "mobiledet_ssd"},
+        quality_ratio={"v0.7": 0.93, "v1.0": 0.95},
+        paper_fp32_quality={"v0.7": 24.4, "v1.0": 30.0},
+    ),
+    "semantic_segmentation": TaskSpec(
+        name="semantic_segmentation",
+        area="Vision",
+        display_name="Semantic segmentation",
+        dataset="ade20k",
+        metric="mIoU",
+        models={"v0.7": "deeplab_v3plus", "v1.0": "deeplab_v3plus"},
+        quality_ratio={"v0.7": 0.97, "v1.0": 0.97},
+        paper_fp32_quality={"v0.7": 56.49, "v1.0": 56.49},
+    ),
+    "question_answering": TaskSpec(
+        name="question_answering",
+        area="Language",
+        display_name="Question answering",
+        dataset="squad",
+        metric="f1",
+        models={"v0.7": "mobilebert", "v1.0": "mobilebert"},
+        quality_ratio={"v0.7": 0.93, "v1.0": 0.93},
+        paper_fp32_quality={"v0.7": 93.98, "v1.0": 93.98},
+    ),
+}
+
+# Appendix E future-work tasks, implemented and registered as experimental:
+# they never appear in the v0.7/v1.0 suites but run through the identical
+# harness/LoadGen/quality-gate machinery under version="experimental".
+TASKS["speech_recognition"] = TaskSpec(
+    name="speech_recognition",
+    area="Language",
+    display_name="Speech recognition (experimental)",
+    dataset="speech",
+    metric="token_accuracy",
+    models={"experimental": "mobile_streaming_asr"},
+    quality_ratio={"experimental": 0.90},
+    paper_fp32_quality={},
+)
+TASKS["super_resolution"] = TaskSpec(
+    name="super_resolution",
+    area="Vision",
+    display_name="Super resolution (experimental)",
+    dataset="superres",
+    metric="psnr",
+    models={"experimental": "mobile_edge_sr"},
+    quality_ratio={"experimental": 0.90},
+    paper_fp32_quality={},
+)
+
+# the app runs the models in a specific order (paper §6.1). TASK_ORDER is
+# the published Table-1 suite; FULL_TASK_ORDER appends the experimental
+# App. E tasks (only reachable under version="experimental").
+TASK_ORDER = [
+    "image_classification",
+    "object_detection",
+    "semantic_segmentation",
+    "question_answering",
+]
+FULL_TASK_ORDER = TASK_ORDER + [
+    "super_resolution",
+    "speech_recognition",
+]
+
+
+def tasks_for_version(version: str) -> list[TaskSpec]:
+    return [TASKS[t] for t in FULL_TASK_ORDER if TASKS[t].models.get(version)]
+
+
+def get_task(name: str) -> TaskSpec:
+    if name not in TASKS:
+        raise KeyError(f"unknown task {name!r}; available: {TASK_ORDER}")
+    return TASKS[name]

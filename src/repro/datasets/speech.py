@@ -1,0 +1,71 @@
+"""Synthetic streaming-speech dataset (App. E speech-recognition task)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.speech import token_accuracy, word_error_rate
+from ..pipelines.postprocess import greedy_ctc_decode
+from ..synthdata import speech_sequence_batch
+from .base import TaskDataset
+
+__all__ = ["SyntheticSpeech"]
+
+
+class SyntheticSpeech(TaskDataset):
+    name = "speech"
+    task = "speech_recognition"
+    metric_name = "token_accuracy"
+
+    def __init__(self, features, transcripts, cal_features, blank_id):
+        self.features = features
+        self.transcripts = transcripts
+        self._cal_features = cal_features
+        self.blank_id = blank_id
+
+    @classmethod
+    def generate(
+        cls,
+        model_config: dict,
+        *,
+        size: int = 96,
+        calibration_size: int = 32,
+        seed: int = 46,
+    ) -> "SyntheticSpeech":
+        feats, transcripts, _ = speech_sequence_batch(
+            size, model_config["num_frames"], model_config["feature_dim"],
+            model_config["vocab_size"], seed,
+        )
+        cal, _, _ = speech_sequence_batch(
+            calibration_size, model_config["num_frames"], model_config["feature_dim"],
+            model_config["vocab_size"], seed + 10_000,
+        )
+        return cls(feats, transcripts, cal, model_config["blank_id"])
+
+    def __len__(self) -> int:
+        return len(self.transcripts)
+
+    def input_batch(self, indices: np.ndarray) -> dict[str, np.ndarray]:
+        return {"features": self.features[np.asarray(indices)]}
+
+    def ground_truth(self, index: int) -> list[int]:
+        return self.transcripts[index]
+
+    def postprocess(self, outputs: dict[str, np.ndarray], index: int) -> list[int]:
+        logits = next(iter(outputs.values()))
+        return greedy_ctc_decode(logits, blank_id=self.blank_id)
+
+    def evaluate(self, predictions: dict[int, list[int]]) -> dict[str, float]:
+        idx = sorted(predictions)
+        hyps = [predictions[i] for i in idx]
+        refs = [self.transcripts[i] for i in idx]
+        return {
+            "token_accuracy": token_accuracy(hyps, refs),
+            "wer": word_error_rate(hyps, refs) * 100.0,
+        }
+
+    def calibration_batches(self, batch_size: int = 16) -> list[dict[str, np.ndarray]]:
+        return [
+            {"features": self._cal_features[i : i + batch_size]}
+            for i in range(0, len(self._cal_features), batch_size)
+        ]

@@ -1,0 +1,71 @@
+"""Synthetic super-resolution dataset (App. E SR task), PSNR-scored."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.psnr import mean_psnr
+from ..pipelines.preprocess import normalize_image
+from ..synthdata import super_resolution_batch
+from .base import TaskDataset
+
+__all__ = ["SyntheticSuperRes"]
+
+
+def denormalize_image(x: np.ndarray) -> np.ndarray:
+    """Inverse of normalize_image: [-1, 1] floats -> [0, 255] pixels."""
+    return np.clip((np.asarray(x, dtype=np.float32) + 1.0) * 127.5, 0.0, 255.0)
+
+
+class SyntheticSuperRes(TaskDataset):
+    name = "superres"
+    task = "super_resolution"
+    metric_name = "psnr"
+
+    def __init__(self, lr_inputs, hr_targets, cal_inputs, scale):
+        self.lr_inputs = lr_inputs
+        self.hr_targets = hr_targets
+        self._cal_inputs = cal_inputs
+        self.scale = scale
+
+    @classmethod
+    def generate(
+        cls,
+        model_config: dict,
+        *,
+        size: int = 48,
+        calibration_size: int = 16,
+        seed: int = 47,
+    ) -> "SyntheticSuperRes":
+        scale = model_config["scale"]
+        hr_size = model_config["lr_size"] * scale
+        lr, hr = super_resolution_batch(size, hr_size, scale, seed)
+        cal_lr, _ = super_resolution_batch(calibration_size, hr_size, scale, seed + 10_000)
+        return cls(
+            normalize_image(lr).astype(np.float32), hr,
+            normalize_image(cal_lr).astype(np.float32), scale,
+        )
+
+    def __len__(self) -> int:
+        return len(self.hr_targets)
+
+    def input_batch(self, indices: np.ndarray) -> dict[str, np.ndarray]:
+        return {"lr_images": self.lr_inputs[np.asarray(indices)]}
+
+    def ground_truth(self, index: int) -> np.ndarray:
+        return self.hr_targets[index]
+
+    def postprocess(self, outputs: dict[str, np.ndarray], index: int) -> np.ndarray:
+        return denormalize_image(next(iter(outputs.values())))
+
+    def evaluate(self, predictions: dict[int, np.ndarray]) -> dict[str, float]:
+        idx = sorted(predictions)
+        preds = [predictions[i] for i in idx]
+        targets = [self.hr_targets[i].astype(np.float32) for i in idx]
+        return {"psnr": mean_psnr(preds, targets)}
+
+    def calibration_batches(self, batch_size: int = 16) -> list[dict[str, np.ndarray]]:
+        return [
+            {"lr_images": self._cal_inputs[i : i + batch_size]}
+            for i in range(0, len(self._cal_inputs), batch_size)
+        ]

@@ -1,0 +1,22 @@
+"""Graph IR, builder, executor and exporter — the TFLite-substrate layer."""
+
+from .builder import GraphBuilder
+from .converter import export_mobile, fold_batch_norms, fuse_activations
+from .executor import Executor
+from .graph import Graph, GraphValidationError
+from .summary import graph_summary
+from .ops import OpCost
+from .tensor import TensorSpec
+
+__all__ = [
+    "Graph",
+    "GraphValidationError",
+    "GraphBuilder",
+    "Executor",
+    "TensorSpec",
+    "OpCost",
+    "export_mobile",
+    "fold_batch_norms",
+    "fuse_activations",
+    "graph_summary",
+]

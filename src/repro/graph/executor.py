@@ -1,0 +1,79 @@
+"""Reference executor: runs a materialized graph in FP32, FP16 or INT8/UINT8.
+
+This is the functional core the accuracy mode of the benchmark runs on.
+FP16 execution rounds every op output through IEEE half precision; quantized
+execution dispatches to integer kernels (or float-fallback islands) using the
+qparams installed by the PTQ pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..kernels.numerics import Numerics, cast_fp16, dequantize, quantize
+from .graph import Graph
+
+__all__ = ["Executor"]
+
+Observer = Callable[[str, np.ndarray], None]
+
+
+class Executor:
+    """Executes a graph. One instance is reusable across many batches."""
+
+    def __init__(self, graph: Graph):
+        if graph.is_symbolic:
+            raise ValueError(f"graph {graph.name!r} is symbolic and cannot execute")
+        self.graph = graph
+
+    def run(
+        self,
+        feeds: dict[str, np.ndarray],
+        observer: Observer | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute and return the output tensors (always dequantized floats).
+
+        ``observer`` (used for PTQ calibration) is called with every float
+        intermediate; it is only valid on FP32 graphs.
+        """
+        g = self.graph
+        numerics = g.numerics
+        if observer is not None and numerics != Numerics.FP32:
+            raise ValueError("calibration observers require an FP32 graph")
+        env: dict[str, np.ndarray] = {}
+        for spec in g.inputs:
+            if spec.name not in feeds:
+                raise KeyError(f"missing feed for input {spec.name!r}")
+            arr = np.asarray(feeds[spec.name])
+            if numerics.is_quantized and spec.qparams is not None:
+                arr = quantize(arr, spec.qparams)
+            env[spec.name] = arr
+
+        for op in g.ops:
+            ins = [env[t] for t in op.inputs]
+            if numerics.is_quantized:
+                outs = op.execute_quantized(ins, g)
+            else:
+                outs = op.execute_float(ins, g)
+                if numerics == Numerics.FP16:
+                    outs = [
+                        cast_fp16(o) if np.issubdtype(o.dtype, np.floating) else o for o in outs
+                    ]
+            for t, arr in zip(op.outputs, outs):
+                env[t] = arr
+                if observer is not None and np.issubdtype(arr.dtype, np.floating):
+                    observer(t, arr)
+
+        results = {}
+        for name in g.output_names:
+            arr = env[name]
+            qp = g.spec(name).qparams
+            if numerics.is_quantized and qp is not None and not np.issubdtype(arr.dtype, np.floating):
+                arr = dequantize(arr, qp)
+            results[name] = arr
+        return results
+
+    def __call__(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        return self.run(feeds)

@@ -1,0 +1,210 @@
+"""Graph container: a static, topologically-ordered op list with parameters.
+
+A :class:`Graph` may be *materialized* (parameters are NumPy arrays; it can
+execute) or *symbolic* (only parameter shapes are known; it can still infer
+shapes and report costs). The model zoo uses symbolic full-size graphs for
+the hardware performance model and materialized scaled graphs for accuracy.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from ..kernels.numerics import Numerics, QuantParams
+from .ops import Op, OpCost
+from .tensor import TensorSpec
+
+__all__ = ["Graph", "GraphValidationError"]
+
+
+class GraphValidationError(ValueError):
+    """The graph violates a structural invariant."""
+
+
+class Graph:
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: list[TensorSpec] = []
+        self.output_names: list[str] = []
+        self.ops: list[Op] = []
+        self.params: dict[str, np.ndarray | None] = {}
+        self.param_shapes: dict[str, tuple[int, ...]] = {}
+        self.param_qparams: dict[str, QuantParams] = {}
+        self.tensor_specs: dict[str, TensorSpec] = {}
+        self.numerics: Numerics = Numerics.FP32
+        self.metadata: dict = {}
+        self.frozen: bool = False
+
+    # -- construction ------------------------------------------------------
+    def add_input(self, spec: TensorSpec) -> TensorSpec:
+        self._assert_mutable()
+        if spec.name in self.tensor_specs:
+            raise GraphValidationError(f"duplicate tensor {spec.name!r}")
+        self.inputs.append(spec)
+        self.tensor_specs[spec.name] = spec
+        return spec
+
+    def add_param(self, name: str, value: np.ndarray | None, shape: tuple[int, ...] | None = None):
+        self._assert_mutable()
+        if name in self.params:
+            raise GraphValidationError(f"duplicate parameter {name!r}")
+        if value is not None:
+            shape = tuple(value.shape)
+        if shape is None:
+            raise GraphValidationError(f"symbolic parameter {name!r} needs an explicit shape")
+        self.params[name] = value
+        self.param_shapes[name] = tuple(int(d) for d in shape)
+
+    def add_op(self, op: Op) -> Op:
+        """Append an op; inputs must already exist (enforces topological order)."""
+        self._assert_mutable()
+        for t in op.inputs:
+            if t not in self.tensor_specs:
+                raise GraphValidationError(f"op {op.name!r} consumes unknown tensor {t!r}")
+        for p in op.param_names():
+            if p not in self.params:
+                raise GraphValidationError(f"op {op.name!r} references unknown parameter {p!r}")
+        in_shapes = [self.tensor_specs[t].shape for t in op.inputs]
+        out_shapes = op.infer_shapes(in_shapes, self)
+        if len(out_shapes) != len(op.outputs):
+            raise GraphValidationError(f"op {op.name!r} arity mismatch")
+        for t, shape in zip(op.outputs, out_shapes):
+            if t in self.tensor_specs:
+                raise GraphValidationError(f"tensor {t!r} produced twice")
+            self.tensor_specs[t] = TensorSpec(t, shape, self.numerics)
+        self.ops.append(op)
+        return op
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        self._assert_mutable()
+        names = list(names)
+        for n in names:
+            if n not in self.tensor_specs:
+                raise GraphValidationError(f"unknown output tensor {n!r}")
+        self.output_names = names
+
+    def _assert_mutable(self) -> None:
+        if self.frozen:
+            raise GraphValidationError(f"graph {self.name!r} is frozen")
+
+    # -- queries -----------------------------------------------------------
+    def spec(self, name: str) -> TensorSpec:
+        return self.tensor_specs[name]
+
+    def param_shape(self, name: str) -> tuple[int, ...]:
+        return self.param_shapes[name]
+
+    def param_elements(self, name: str) -> int:
+        n = 1
+        for d in self.param_shapes[name]:
+            n *= d
+        return n
+
+    @property
+    def is_symbolic(self) -> bool:
+        return any(v is None for v in self.params.values())
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(self.param_elements(p) for p in self.params)
+
+    def producers(self) -> dict[str, Op]:
+        """Map tensor name -> the op producing it."""
+        out: dict[str, Op] = {}
+        for op in self.ops:
+            for t in op.outputs:
+                out[t] = op
+        return out
+
+    def consumers(self) -> dict[str, list[Op]]:
+        out: dict[str, list[Op]] = {}
+        for op in self.ops:
+            for t in op.inputs:
+                out.setdefault(t, []).append(op)
+        return out
+
+    def op_costs(self, numerics: Numerics | None = None) -> list[tuple[Op, OpCost]]:
+        """Per-sample analytical cost of every op, in execution order."""
+        numerics = numerics or self.numerics
+        result = []
+        for op in self.ops:
+            in_shapes = [self.tensor_specs[t].shape for t in op.inputs]
+            out_shapes = [self.tensor_specs[t].shape for t in op.outputs]
+            result.append((op, op.cost(in_shapes, out_shapes, self, numerics)))
+        return result
+
+    def total_cost(self, numerics: Numerics | None = None) -> OpCost:
+        total = OpCost()
+        for _, c in self.op_costs(numerics):
+            total = total + c
+        return total
+
+    @property
+    def total_macs(self) -> int:
+        return self.total_cost().macs
+
+    # -- lifecycle ---------------------------------------------------------
+    def clone(self, name: str | None = None) -> "Graph":
+        """Deep copy (specs/ops/metadata); parameter arrays are shared read-only."""
+        g = Graph(name or self.name)
+        g.inputs = [s.copy() for s in self.inputs]
+        g.output_names = list(self.output_names)
+        g.ops = copy.deepcopy(self.ops)
+        g.params = dict(self.params)
+        g.param_shapes = dict(self.param_shapes)
+        g.param_qparams = dict(self.param_qparams)
+        g.tensor_specs = {k: v.copy() for k, v in self.tensor_specs.items()}
+        for s in g.inputs:
+            g.tensor_specs[s.name] = s
+        g.numerics = self.numerics
+        g.metadata = copy.deepcopy(self.metadata)
+        return g
+
+    def freeze(self) -> str:
+        """Mark immutable and return the structural checksum (audit anchor)."""
+        self.validate()
+        self.frozen = True
+        return self.checksum()
+
+    def checksum(self) -> str:
+        """Stable hash over structure and (when materialized) parameter bytes."""
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        for s in self.inputs:
+            h.update(f"{s.name}:{s.shape}:{s.numerics.value}".encode())
+        for op in self.ops:
+            attrs = {k: v for k, v in sorted(op.attrs.items())}
+            h.update(f"{op.op_type}:{op.name}:{op.inputs}:{op.outputs}:{attrs}".encode())
+        for name in sorted(self.params):
+            h.update(f"{name}:{self.param_shapes[name]}".encode())
+            arr = self.params[name]
+            if arr is not None:
+                h.update(np.ascontiguousarray(arr).tobytes())
+        h.update(",".join(self.output_names).encode())
+        return h.hexdigest()
+
+    def validate(self) -> None:
+        """Check structural invariants: connectivity, outputs, param shapes."""
+        if not self.inputs:
+            raise GraphValidationError(f"graph {self.name!r} has no inputs")
+        if not self.output_names:
+            raise GraphValidationError(f"graph {self.name!r} has no outputs")
+        seen = {s.name for s in self.inputs}
+        for op in self.ops:
+            for t in op.inputs:
+                if t not in seen:
+                    raise GraphValidationError(f"op {op.name!r} runs before its input {t!r}")
+            seen.update(op.outputs)
+        for name, arr in self.params.items():
+            if arr is not None and tuple(arr.shape) != self.param_shapes[name]:
+                raise GraphValidationError(f"parameter {name!r} shape drifted")
+        # every non-output intermediate should be consumed (no dead ends)
+        consumed = {t for op in self.ops for t in op.inputs} | set(self.output_names)
+        for op in self.ops:
+            for t in op.outputs:
+                if t not in consumed:
+                    raise GraphValidationError(f"tensor {t!r} is produced but never used")

@@ -1,0 +1,600 @@
+"""Operator set of the graph IR.
+
+Each operator knows how to (1) infer output shapes, (2) execute in float,
+(3) execute in the quantized domain, and (4) report an analytical cost
+(:class:`OpCost`) consumed by the hardware performance model.
+
+The op vocabulary mirrors the TFLite subset the five MLPerf Mobile reference
+models require. Quantized execution uses true integer kernels for the
+MAC-dominated ops (conv / depthwise / fully-connected) and LUTs for unary
+activations; the remaining ops fall back to dequantize -> float -> quantize,
+exactly as TFLite does for its "float fallback" islands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .. import kernels as K
+from ..kernels.numerics import Numerics, QuantParams, dequantize, quantize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .graph import Graph
+
+__all__ = [
+    "OpCost",
+    "Op",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "FullyConnected",
+    "AvgPool2D",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "ResizeBilinear",
+    "Add",
+    "Concat",
+    "Activation",
+    "Softmax",
+    "Reshape",
+    "BatchNorm",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "Embedding",
+    "Split",
+    "LSTM",
+    "DepthToSpace",
+    "ACTIVATION_FUNCTIONS",
+]
+
+
+ACTIVATION_FUNCTIONS = {
+    "relu": K.relu,
+    "relu6": K.relu6,
+    "hard_swish": K.hard_swish,
+    "hard_sigmoid": K.hard_sigmoid,
+    "sigmoid": K.sigmoid,
+    "tanh": K.tanh,
+    "gelu": K.gelu,
+}
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Analytical cost of one operator execution for a single sample."""
+
+    macs: int = 0
+    weight_bytes: float = 0.0
+    activation_bytes: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.macs + other.macs,
+            self.weight_bytes + other.weight_bytes,
+            self.activation_bytes + other.activation_bytes,
+        )
+
+
+def _shape_elems(shape: Sequence[int]) -> int:
+    n = 1
+    for d in shape:
+        if d != -1:
+            n *= d
+    return n
+
+
+class Op:
+    """Base operator. Subclasses set ``op_type`` and implement the hooks."""
+
+    op_type = "base"
+    integer_kernel = False  # True if execute_quantized is a real integer path
+
+    def __init__(self, name: str, inputs: Sequence[str], outputs: Sequence[str], **attrs):
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.attrs = dict(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.inputs}->{self.outputs}>"
+
+    # -- interface ---------------------------------------------------------
+    def param_names(self) -> list[str]:
+        return []
+
+    def infer_shapes(self, in_shapes: list[tuple[int, ...]], graph: "Graph") -> list[tuple[int, ...]]:
+        raise NotImplementedError
+
+    def execute_float(self, inputs: list[np.ndarray], graph: "Graph") -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def execute_quantized(self, inputs: list[np.ndarray], graph: "Graph") -> list[np.ndarray]:
+        """Default float-fallback: dequantize -> float kernel -> quantize."""
+        deq = []
+        for name, arr in zip(self.inputs, inputs):
+            qp = graph.spec(name).qparams
+            deq.append(dequantize(arr, qp) if qp is not None else arr)
+        outs = self.execute_float(deq, graph)
+        result = []
+        for name, arr in zip(self.outputs, outs):
+            qp = graph.spec(name).qparams
+            result.append(quantize(arr, qp) if qp is not None else arr)
+        return result
+
+    def cost(
+        self,
+        in_shapes: list[tuple[int, ...]],
+        out_shapes: list[tuple[int, ...]],
+        graph: "Graph",
+        numerics: Numerics = Numerics.FP32,
+    ) -> OpCost:
+        act = sum(_shape_elems(s) for s in in_shapes) + sum(_shape_elems(s) for s in out_shapes)
+        w_elems = sum(graph.param_elements(p) for p in self.param_names())
+        b = numerics.bytes_per_element
+        return OpCost(
+            macs=self.macs(in_shapes, out_shapes, graph),
+            weight_bytes=w_elems * b,
+            activation_bytes=act * b,
+        )
+
+    def macs(self, in_shapes, out_shapes, graph: "Graph") -> int:
+        return 0
+
+    def _apply_activation(self, x: np.ndarray) -> np.ndarray:
+        act = self.attrs.get("activation")
+        if act is None:
+            return x
+        return ACTIVATION_FUNCTIONS[act](x)
+
+
+class Conv2D(Op):
+    op_type = "conv2d"
+    integer_kernel = True
+
+    def param_names(self) -> list[str]:
+        names = [self.attrs["weight"]]
+        if self.attrs.get("bias"):
+            names.append(self.attrs["bias"])
+        return names
+
+    def infer_shapes(self, in_shapes, graph):
+        n, h, w, c = in_shapes[0]
+        kh, kw, cin, cout = graph.param_shape(self.attrs["weight"])
+        if cin != c:
+            raise ValueError(f"{self.name}: input channels {c} != weight {cin}")
+        oh, ow, _, _ = K.conv_output_shape(
+            h, w, kh, kw, self.attrs["stride"], self.attrs["padding"],
+            self.attrs.get("dilation", 1),
+        )
+        return [(n, oh, ow, cout)]
+
+    def execute_float(self, inputs, graph):
+        w = graph.params[self.attrs["weight"]]
+        b = graph.params.get(self.attrs.get("bias"))
+        out = K.conv2d(
+            inputs[0], w, b, stride=self.attrs["stride"], padding=self.attrs["padding"],
+            dilation=self.attrs.get("dilation", 1),
+        )
+        return [self._apply_activation(out)]
+
+    def execute_quantized(self, inputs, graph):
+        wq = graph.params[self.attrs["weight"]]
+        bq = graph.params.get(self.attrs.get("bias"))
+        x_qp = graph.spec(self.inputs[0]).qparams
+        w_qp = graph.param_qparams[self.attrs["weight"]]
+        out_qp = graph.spec(self.outputs[0]).qparams
+        out = K.conv2d_quantized(
+            inputs[0], wq, bq, x_qp, w_qp, out_qp,
+            stride=self.attrs["stride"], padding=self.attrs["padding"],
+            dilation=self.attrs.get("dilation", 1),
+        )
+        act = self.attrs.get("activation")
+        if act in ("relu", "relu6"):
+            # clamp in the integer domain at the quantized representation of 0/6
+            zp = int(out_qp.zero_point[0])
+            lo = zp
+            hi = out_qp.numerics.qmax
+            if act == "relu6":
+                hi = min(hi, int(round(6.0 / float(out_qp.scale[0])) + zp))
+            out = np.clip(out, lo, hi).astype(out_qp.numerics.np_dtype)
+        elif act is not None:
+            lut = K.quantized_lut(ACTIVATION_FUNCTIONS[act], out_qp, out_qp)
+            out = K.apply_quantized_lut(out, lut, out_qp)
+        return [out]
+
+    def macs(self, in_shapes, out_shapes, graph):
+        kh, kw, cin, cout = graph.param_shape(self.attrs["weight"])
+        _, oh, ow, _ = out_shapes[0]
+        return oh * ow * kh * kw * cin * cout
+
+
+class DepthwiseConv2D(Conv2D):
+    op_type = "depthwise_conv2d"
+
+    def infer_shapes(self, in_shapes, graph):
+        n, h, w, c = in_shapes[0]
+        kh, kw, wc, mult = graph.param_shape(self.attrs["weight"])
+        if wc != c or mult != 1:
+            raise ValueError(f"{self.name}: depthwise weight {graph.param_shape(self.attrs['weight'])} vs C={c}")
+        oh, ow, _, _ = K.conv_output_shape(h, w, kh, kw, self.attrs["stride"], self.attrs["padding"])
+        return [(n, oh, ow, c)]
+
+    def execute_float(self, inputs, graph):
+        w = graph.params[self.attrs["weight"]]
+        b = graph.params.get(self.attrs.get("bias"))
+        out = K.depthwise_conv2d(
+            inputs[0], w, b, stride=self.attrs["stride"], padding=self.attrs["padding"]
+        )
+        return [self._apply_activation(out)]
+
+    def execute_quantized(self, inputs, graph):
+        wq = graph.params[self.attrs["weight"]]
+        bq = graph.params.get(self.attrs.get("bias"))
+        x_qp = graph.spec(self.inputs[0]).qparams
+        w_qp = graph.param_qparams[self.attrs["weight"]]
+        out_qp = graph.spec(self.outputs[0]).qparams
+        out = K.depthwise_conv2d_quantized(
+            inputs[0], wq, bq, x_qp, w_qp, out_qp,
+            stride=self.attrs["stride"], padding=self.attrs["padding"],
+        )
+        act = self.attrs.get("activation")
+        if act in ("relu", "relu6"):
+            zp = int(out_qp.zero_point[0])
+            hi = out_qp.numerics.qmax
+            if act == "relu6":
+                hi = min(hi, int(round(6.0 / float(out_qp.scale[0])) + zp))
+            out = np.clip(out, zp, hi).astype(out_qp.numerics.np_dtype)
+        elif act is not None:
+            lut = K.quantized_lut(ACTIVATION_FUNCTIONS[act], out_qp, out_qp)
+            out = K.apply_quantized_lut(out, lut, out_qp)
+        return [out]
+
+    def macs(self, in_shapes, out_shapes, graph):
+        kh, kw, c, _ = graph.param_shape(self.attrs["weight"])
+        _, oh, ow, _ = out_shapes[0]
+        return oh * ow * kh * kw * c
+
+
+class FullyConnected(Op):
+    op_type = "fully_connected"
+    integer_kernel = True
+
+    def param_names(self) -> list[str]:
+        names = [self.attrs["weight"]]
+        if self.attrs.get("bias"):
+            names.append(self.attrs["bias"])
+        return names
+
+    def infer_shapes(self, in_shapes, graph):
+        fin, fout = graph.param_shape(self.attrs["weight"])
+        shape = in_shapes[0]
+        if shape[-1] != fin:
+            raise ValueError(f"{self.name}: feature dim {shape[-1]} != weight in {fin}")
+        return [shape[:-1] + (fout,)]
+
+    def execute_float(self, inputs, graph):
+        w = graph.params[self.attrs["weight"]]
+        b = graph.params.get(self.attrs.get("bias"))
+        return [self._apply_activation(K.fully_connected(inputs[0], w, b))]
+
+    def execute_quantized(self, inputs, graph):
+        wq = graph.params[self.attrs["weight"]]
+        bq = graph.params.get(self.attrs.get("bias"))
+        x_qp = graph.spec(self.inputs[0]).qparams
+        w_qp = graph.param_qparams[self.attrs["weight"]]
+        out_qp = graph.spec(self.outputs[0]).qparams
+        out = K.fully_connected_quantized(inputs[0], wq, bq, x_qp, w_qp, out_qp)
+        act = self.attrs.get("activation")
+        if act is not None:
+            lut = K.quantized_lut(ACTIVATION_FUNCTIONS[act], out_qp, out_qp)
+            out = K.apply_quantized_lut(out, lut, out_qp)
+        return [out]
+
+    def macs(self, in_shapes, out_shapes, graph):
+        fin, fout = graph.param_shape(self.attrs["weight"])
+        lead = _shape_elems(in_shapes[0][:-1])
+        return lead * fin * fout
+
+
+class AvgPool2D(Op):
+    op_type = "avg_pool2d"
+
+    def infer_shapes(self, in_shapes, graph):
+        n, h, w, c = in_shapes[0]
+        oh, ow, _, _ = K.conv_output_shape(
+            h, w, self.attrs["k"], self.attrs["k"], self.attrs["stride"], self.attrs["padding"]
+        )
+        return [(n, oh, ow, c)]
+
+    def execute_float(self, inputs, graph):
+        return [K.avg_pool2d(inputs[0], self.attrs["k"], self.attrs["stride"], self.attrs["padding"])]
+
+
+class MaxPool2D(AvgPool2D):
+    op_type = "max_pool2d"
+
+    def execute_float(self, inputs, graph):
+        return [K.max_pool2d(inputs[0], self.attrs["k"], self.attrs["stride"], self.attrs["padding"])]
+
+
+class GlobalAvgPool(Op):
+    op_type = "global_avg_pool"
+
+    def infer_shapes(self, in_shapes, graph):
+        n, h, w, c = in_shapes[0]
+        if self.attrs.get("keepdims", True):
+            return [(n, 1, 1, c)]
+        return [(n, c)]
+
+    def execute_float(self, inputs, graph):
+        return [K.global_avg_pool(inputs[0], keepdims=self.attrs.get("keepdims", True))]
+
+
+class ResizeBilinear(Op):
+    op_type = "resize_bilinear"
+
+    def infer_shapes(self, in_shapes, graph):
+        n, _, _, c = in_shapes[0]
+        return [(n, self.attrs["out_h"], self.attrs["out_w"], c)]
+
+    def execute_float(self, inputs, graph):
+        return [
+            K.resize_bilinear(
+                inputs[0],
+                self.attrs["out_h"],
+                self.attrs["out_w"],
+                self.attrs.get("align_corners", False),
+            )
+        ]
+
+
+class Add(Op):
+    op_type = "add"
+
+    def infer_shapes(self, in_shapes, graph):
+        if in_shapes[0][1:] != in_shapes[1][1:]:
+            raise ValueError(f"{self.name}: add shape mismatch {in_shapes}")
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        return [self._apply_activation((inputs[0] + inputs[1]).astype(np.float32))]
+
+
+class Concat(Op):
+    op_type = "concat"
+
+    def infer_shapes(self, in_shapes, graph):
+        axis = self.attrs["axis"]
+        base = list(in_shapes[0])
+        base[axis] = sum(s[axis] for s in in_shapes)
+        return [tuple(base)]
+
+    def execute_float(self, inputs, graph):
+        return [np.concatenate(inputs, axis=self.attrs["axis"]).astype(np.float32)]
+
+    def execute_quantized(self, inputs, graph):
+        # requantize every input into the shared output domain, then concat
+        out_qp = graph.spec(self.outputs[0]).qparams
+        if out_qp is None:
+            return [np.concatenate(inputs, axis=self.attrs["axis"])]
+        parts = []
+        for name, arr in zip(self.inputs, inputs):
+            qp = graph.spec(name).qparams
+            parts.append(quantize(dequantize(arr, qp), out_qp) if qp is not None else arr)
+        return [np.concatenate(parts, axis=self.attrs["axis"])]
+
+
+class Activation(Op):
+    op_type = "activation"
+    integer_kernel = True
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        return [ACTIVATION_FUNCTIONS[self.attrs["kind"]](inputs[0])]
+
+    def execute_quantized(self, inputs, graph):
+        in_qp = graph.spec(self.inputs[0]).qparams
+        out_qp = graph.spec(self.outputs[0]).qparams
+        if in_qp is None or out_qp is None:
+            return super().execute_quantized(inputs, graph)
+        lut = K.quantized_lut(ACTIVATION_FUNCTIONS[self.attrs["kind"]], in_qp, out_qp)
+        return [K.apply_quantized_lut(inputs[0], lut, in_qp)]
+
+
+class Softmax(Op):
+    op_type = "softmax"
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        return [K.softmax(inputs[0], axis=self.attrs.get("axis", -1))]
+
+
+class Reshape(Op):
+    op_type = "reshape"
+
+    def infer_shapes(self, in_shapes, graph):
+        target = self.attrs["shape"]  # per-sample shape
+        in_elems = _shape_elems(in_shapes[0][1:])
+        if _shape_elems(target) != in_elems:
+            raise ValueError(f"{self.name}: cannot reshape {in_shapes[0]} to (batch, *{target})")
+        return [(in_shapes[0][0],) + tuple(target)]
+
+    def execute_float(self, inputs, graph):
+        batch = inputs[0].shape[0]
+        return [np.ascontiguousarray(inputs[0]).reshape(batch, *self.attrs["shape"])]
+
+    def execute_quantized(self, inputs, graph):
+        return self.execute_float(inputs, graph)
+
+
+class BatchNorm(Op):
+    """Inference batch norm; exists pre-export and is folded by the converter."""
+
+    op_type = "batch_norm"
+
+    def param_names(self) -> list[str]:
+        return [self.attrs[k] for k in ("mean", "variance", "gamma", "beta")]
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        p = graph.params
+        return [
+            K.batch_norm(
+                inputs[0],
+                p[self.attrs["mean"]],
+                p[self.attrs["variance"]],
+                p[self.attrs["gamma"]],
+                p[self.attrs["beta"]],
+                self.attrs.get("eps", 1e-3),
+            )
+        ]
+
+
+class LayerNorm(Op):
+    op_type = "layer_norm"
+
+    def param_names(self) -> list[str]:
+        return [self.attrs["gamma"], self.attrs["beta"]]
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        return [
+            K.layer_norm(
+                inputs[0],
+                graph.params[self.attrs["gamma"]],
+                graph.params[self.attrs["beta"]],
+                self.attrs.get("eps", 1e-6),
+            )
+        ]
+
+
+class MultiHeadAttention(Op):
+    """Fused scaled-dot-product attention over already-projected q/k/v."""
+
+    op_type = "attention"
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+    def execute_float(self, inputs, graph):
+        mask = inputs[3] if len(inputs) > 3 else None
+        return [K.multi_head_attention(inputs[0], inputs[1], inputs[2], self.attrs["num_heads"], mask)]
+
+    def macs(self, in_shapes, out_shapes, graph):
+        _, s, hidden = in_shapes[0]
+        return 2 * s * s * hidden
+
+
+class Embedding(Op):
+    """Token-id gather plus learned position embeddings."""
+
+    op_type = "embedding"
+
+    def param_names(self) -> list[str]:
+        names = [self.attrs["table"]]
+        if self.attrs.get("position_table"):
+            names.append(self.attrs["position_table"])
+        return names
+
+    def infer_shapes(self, in_shapes, graph):
+        n, s = in_shapes[0]
+        _, d = graph.param_shape(self.attrs["table"])
+        return [(n, s, d)]
+
+    def execute_float(self, inputs, graph):
+        ids = inputs[0].astype(np.int64)
+        table = graph.params[self.attrs["table"]]
+        out = table[np.clip(ids, 0, table.shape[0] - 1)]
+        pos = self.attrs.get("position_table")
+        if pos:
+            out = out + graph.params[pos][None, : ids.shape[1]]
+        return [out.astype(np.float32)]
+
+    def execute_quantized(self, inputs, graph):
+        # ids are never quantized; only the output gets quantized
+        outs = self.execute_float(inputs, graph)
+        qp = graph.spec(self.outputs[0]).qparams
+        return [quantize(outs[0], qp) if qp is not None else outs[0]]
+
+
+class Split(Op):
+    """Split the last axis into equal parts (e.g. start/end QA logits)."""
+
+    op_type = "split"
+
+    def infer_shapes(self, in_shapes, graph):
+        parts = self.attrs["parts"]
+        last = in_shapes[0][-1]
+        if last % parts:
+            raise ValueError(f"{self.name}: cannot split {last} into {parts} parts")
+        return [in_shapes[0][:-1] + (last // parts,)] * parts
+
+    def execute_float(self, inputs, graph):
+        return [np.ascontiguousarray(a) for a in np.split(inputs[0], self.attrs["parts"], axis=-1)]
+
+    def execute_quantized(self, inputs, graph):
+        return self.execute_float(inputs, graph)
+
+
+class LSTM(Op):
+    """Full-sequence LSTM (the streaming-speech encoder substrate, App. E).
+
+    Runs in float even inside quantized graphs (its state recurrence is the
+    classic hard case for per-tensor activation quantization); quantized
+    deployments keep it as a float island with boundary (de)quantization.
+    """
+
+    op_type = "lstm"
+
+    def param_names(self) -> list[str]:
+        return [self.attrs["w_ih"], self.attrs["w_hh"], self.attrs["bias"]]
+
+    def infer_shapes(self, in_shapes, graph):
+        n, t, _ = in_shapes[0]
+        hidden = graph.param_shape(self.attrs["w_hh"])[0]
+        return [(n, t, hidden)]
+
+    def execute_float(self, inputs, graph):
+        return [
+            K.lstm_sequence(
+                np.asarray(inputs[0], dtype=np.float32),
+                graph.params[self.attrs["w_ih"]],
+                graph.params[self.attrs["w_hh"]],
+                graph.params[self.attrs["bias"]],
+            )
+        ]
+
+    def macs(self, in_shapes, out_shapes, graph):
+        _, t, f_in = in_shapes[0]
+        hidden = graph.param_shape(self.attrs["w_hh"])[0]
+        return t * 4 * hidden * (f_in + hidden)
+
+
+class DepthToSpace(Op):
+    """Pixel-shuffle upsampling (super-resolution models, App. E)."""
+
+    op_type = "depth_to_space"
+
+    def infer_shapes(self, in_shapes, graph):
+        n, h, w, c = in_shapes[0]
+        block = self.attrs["block"]
+        if c % (block * block):
+            raise ValueError(f"{self.name}: channels {c} not divisible by {block}^2")
+        return [(n, h * block, w * block, c // (block * block))]
+
+    def execute_float(self, inputs, graph):
+        return [K.depth_to_space(inputs[0], self.attrs["block"])]
+
+    def execute_quantized(self, inputs, graph):
+        # pure data movement: the integer payload is rearranged, not rescaled
+        return [K.depth_to_space(inputs[0], self.attrs["block"])]

@@ -1,0 +1,42 @@
+"""Human-readable graph summaries (a keras-summary analogue).
+
+Used by the CLI's ``describe`` command and handy for model designers
+(paper App. B) inspecting what a backend will actually schedule.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from ..kernels.numerics import Numerics
+
+__all__ = ["graph_summary"]
+
+
+def graph_summary(graph: Graph, max_rows: int | None = None) -> str:
+    """Tabulate ops with output shapes, parameters and MACs."""
+    costs = graph.op_costs()
+    lines = [
+        f"graph {graph.name!r}"
+        + (" (symbolic)" if graph.is_symbolic else "")
+        + (" [frozen]" if graph.frozen else ""),
+        f"{'op':<28}{'type':<20}{'output shape':<22}{'params':>10}{'MMACs':>9}",
+        "-" * 89,
+    ]
+    shown = costs if max_rows is None else costs[:max_rows]
+    for op, cost in shown:
+        out_shape = graph.spec(op.outputs[0]).shape
+        params = sum(graph.param_elements(p) for p in op.param_names())
+        lines.append(
+            f"{op.name[:27]:<28}{op.op_type:<20}{str(out_shape):<22}"
+            f"{params:>10,}{cost.macs / 1e6:>9.2f}"
+        )
+    if max_rows is not None and len(costs) > max_rows:
+        lines.append(f"... {len(costs) - max_rows} more ops ...")
+    total = graph.total_cost()
+    lines.append("-" * 89)
+    lines.append(
+        f"total: {len(graph.ops)} ops, {graph.num_parameters:,} params, "
+        f"{total.macs / 1e6:,.1f} MMACs/sample, "
+        f"{total.activation_bytes / 1e6:.1f} MB activations (fp32)"
+    )
+    return "\n".join(lines)

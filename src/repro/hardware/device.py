@@ -1,0 +1,57 @@
+"""The simulated device: an SoC plus mutable thermal/power state.
+
+This object is what performance-mode SUTs wrap. Each query advances virtual
+time, heats the die, and returns (latency, energy); sustained load therefore
+drifts latencies upward exactly the way the run rules anticipate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .power import PowerModel, QueryEnergy
+from .scheduler import CompiledModel
+from .soc import SoCSpec
+from .thermal import ThermalModel
+
+__all__ = ["QueryResult", "SimulatedDevice"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    latency_seconds: float
+    energy: QueryEnergy
+    temperature_c: float
+    clock_scale: float
+
+
+class SimulatedDevice:
+    """One physical device under test (factory-reset between runs)."""
+
+    def __init__(self, soc: SoCSpec, ambient_c: float = 22.0):
+        self.soc = soc
+        self.thermal = ThermalModel(soc, ambient_c=ambient_c)
+        self.power = PowerModel(soc)
+        self.virtual_time = 0.0
+        self.total_energy_joules = 0.0
+
+    def run_query(self, compiled: CompiledModel, batch: int = 1) -> QueryResult:
+        """Execute one query on the performance model, mutating device state."""
+        scale = self.thermal.clock_scale()
+        scales = {a.name: scale for a in self.soc.accelerators}
+        latency = compiled.latency_seconds(scales, batch)
+        energy = self.power.query_energy(compiled, latency, scales, batch)
+        self.thermal.advance(latency, energy.average_watts)
+        self.virtual_time += latency
+        self.total_energy_joules += energy.energy_joules
+        return QueryResult(latency, energy, self.thermal.temperature_c, scale)
+
+    def cooldown(self, seconds: float) -> None:
+        self.thermal.cooldown(seconds)
+        self.virtual_time += seconds
+
+    def reset(self) -> None:
+        """Factory-reset analogue used by the audit process."""
+        self.thermal.reset()
+        self.virtual_time = 0.0
+        self.total_energy_joules = 0.0

@@ -1,0 +1,251 @@
+"""Graph partitioning and the compiled execution model.
+
+The scheduler walks a (full-size symbolic) model graph in execution order and
+assigns every op to the backend's primary accelerator when it is supported
+there, falling back to the CPU otherwise. Contiguous runs form *segments*;
+each segment boundary costs a framework synchronization plus an inter-IP
+tensor transfer over the SoC interconnect — the mechanism behind the paper's
+Table 3 (NNAPI vs Neuron) and the Exynos 990 -> 2100 segmentation uplift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+from ..kernels.numerics import Numerics
+from .accelerator import AcceleratorSpec
+from .soc import SoCSpec
+
+__all__ = ["Segment", "CompiledModel", "partition_graph", "compile_model"]
+
+
+@dataclass
+class Segment:
+    """A contiguous run of ops on one accelerator (per-sample costs)."""
+
+    accelerator: AcceleratorSpec
+    op_names: list[str]
+    macs: float
+    weight_bytes: float
+    activation_bytes: float
+    boundary_bytes: float  # activation bytes crossing into this segment
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.op_names)
+
+    def compute_seconds(self, numerics: Numerics, tops_derate: float = 1.0) -> float:
+        tops = self.accelerator.effective_tops[numerics] * tops_derate
+        return (2.0 * self.macs) / (tops * 1e12)
+
+    def memory_seconds(self, batch: int = 1) -> float:
+        return (self.activation_bytes * batch + self.weight_bytes) / (
+            self.accelerator.memory_gbps * 1e9
+        )
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """How a runtime framework layers cost on top of raw hardware time.
+
+    ``per_boundary_ms`` models the HAL synchronization the paper attributes
+    to NNAPI (§7.1, Table 3); vendor SDKs keep it near zero. ``tops_derate``
+    models incomplete hardware enablement (e.g. single- vs multi-MDLA).
+    """
+
+    name: str
+    per_inference_ms: float = 0.0
+    per_boundary_ms: float = 0.0
+    tops_derate: float = 1.0
+    # ops this runtime's driver cannot place on the primary engine even when
+    # the hardware could run them (buggy/missing op support, paper App. D)
+    unsupported_ops: frozenset[str] = frozenset()
+
+
+def _effective_numerics(acc: AcceleratorSpec, numerics: Numerics) -> Numerics | None:
+    """The format this accelerator would run the model in, or None."""
+    if acc.supports(numerics):
+        return numerics
+    if numerics == Numerics.FP32 and acc.supports(Numerics.FP16):
+        return None  # no silent down-conversion: FP32 models stay off NPUs
+    return None
+
+
+_FIXED_FUNCTION_KINDS = {"npu", "apu", "dsp", "hta", "hvx", "ane"}
+
+
+def _op_runs_on(op, acc: AcceleratorSpec, excluded: frozenset[str]) -> bool:
+    if op.op_type in excluded and acc.kind in _FIXED_FUNCTION_KINDS:
+        return False
+    if op.op_type not in acc.supported_ops():
+        return False
+    # dilated (atrous) convolutions are a classic fixed-function gap
+    if acc.kind in _FIXED_FUNCTION_KINDS and op.attrs.get("dilation", 1) > 1:
+        return False
+    return True
+
+
+def partition_graph(
+    graph: Graph,
+    primary: AcceleratorSpec,
+    fallback: AcceleratorSpec,
+    numerics: Numerics,
+    secondary: AcceleratorSpec | None = None,
+    excluded_ops: frozenset[str] = frozenset(),
+) -> list[Segment]:
+    """Assign ops to primary (then secondary, then fallback) and group runs."""
+    segments: list[Segment] = []
+    current: Segment | None = None
+    primary_ok = _effective_numerics(primary, numerics) is not None
+    secondary_ok = secondary is not None and (
+        secondary.supports(numerics) or secondary.supports(Numerics.FP16)
+    )
+    for op, cost in graph.op_costs(numerics):
+        if op.op_type == "batch_norm":
+            raise ValueError("compile exported graphs: batch norms must be folded")
+        if primary_ok and _op_runs_on(op, primary, excluded_ops):
+            target = primary
+        elif secondary_ok and _op_runs_on(op, secondary, excluded_ops):
+            target = secondary
+        else:
+            target = fallback
+        in_bytes = sum(
+            graph.spec(t).elements_per_sample * numerics.bytes_per_element
+            for t in op.inputs
+        )
+        if current is None or current.accelerator is not target:
+            current = Segment(target, [], 0.0, 0.0, 0.0, boundary_bytes=in_bytes)
+            segments.append(current)
+        current.op_names.append(op.name)
+        current.macs += cost.macs
+        current.weight_bytes += cost.weight_bytes
+        current.activation_bytes += cost.activation_bytes
+    return segments
+
+
+@dataclass
+class CompiledModel:
+    """A model scheduled onto an SoC under one backend configuration."""
+
+    model_name: str
+    task: str
+    soc: SoCSpec
+    numerics: Numerics
+    segments: list[Segment]
+    framework: FrameworkProfile
+    postprocess_cpu_ops: float = 0.0  # e.g. NMS — part of the "AI tax"
+    # pre-processing (resize/crop/normalize/feature extraction) runs on the
+    # CPU outside the benchmark's timed region by default (paper §7.2: "pre-
+    # and post-processing and other tasks the benchmark does not measure");
+    # end-to-end mode (App. E) adds it to the measured latency
+    preprocess_cpu_ops: float = 0.0
+
+    @property
+    def num_boundaries(self) -> int:
+        return max(len(self.segments) - 1, 0)
+
+    def accelerators(self) -> list[AcceleratorSpec]:
+        seen: dict[str, AcceleratorSpec] = {}
+        for seg in self.segments:
+            seen[seg.accelerator.name] = seg.accelerator
+        return list(seen.values())
+
+    def latency_seconds(
+        self,
+        clock_scale: dict[str, float] | None = None,
+        batch: int = 1,
+    ) -> float:
+        """End-to-end latency for one query of ``batch`` samples."""
+        clock_scale = clock_scale or {}
+        total = self.framework.per_inference_ms * 1e-3
+        for i, seg in enumerate(self.segments):
+            scale = clock_scale.get(seg.accelerator.name, 1.0)
+            compute = seg.compute_seconds(self.numerics, self.framework.tops_derate) * batch
+            mem = seg.memory_seconds(batch)
+            # dispatch and per-op fill costs are clocked logic: they derate
+            # with the engine clock just like the MACs do
+            overhead = (seg.accelerator.dispatch_overhead_us
+                        + seg.num_ops * seg.accelerator.per_op_overhead_us) * 1e-6
+            total += max(compute / scale, mem) + overhead / scale
+            if i > 0:
+                # every hop pays the runtime's HAL synchronization; hops
+                # between two non-CPU engines additionally pay the SoC
+                # IP-block sync and the interconnect transfer (the Exynos
+                # 990 -> 2100 software story, paper §7.1)
+                total += self.framework.per_boundary_ms * 1e-3
+                prev = self.segments[i - 1].accelerator
+                if prev.kind != "cpu" and seg.accelerator.kind != "cpu":
+                    total += self.soc.segment_sync_ms * 1e-3
+                    total += seg.boundary_bytes * batch / (self.soc.interconnect_gbps * 1e9)
+        extra_cpu_ops = self.postprocess_cpu_ops + self.preprocess_cpu_ops
+        if extra_cpu_ops:
+            cpu = self.soc.accelerator("cpu")
+            total += batch * extra_cpu_ops / (
+                cpu.effective_tops[Numerics.FP32] * 1e12
+            )
+        return total
+
+    def busy_seconds(
+        self, clock_scale: dict[str, float] | None = None, batch: int = 1
+    ) -> dict[str, float]:
+        """Per-accelerator active time for one query (power accounting)."""
+        clock_scale = clock_scale or {}
+        busy: dict[str, float] = {}
+        for seg in self.segments:
+            scale = clock_scale.get(seg.accelerator.name, 1.0)
+            compute = seg.compute_seconds(self.numerics, self.framework.tops_derate) * batch
+            t = max(compute / scale, seg.memory_seconds(batch))
+            busy[seg.accelerator.name] = busy.get(seg.accelerator.name, 0.0) + t
+        return busy
+
+
+def offline_throughput(
+    pipelines: list["CompiledModel"],
+    batch: int = 256,
+    dram_gbps: float | None = None,
+) -> float:
+    """Aggregate samples/s of concurrent ALP pipelines, DRAM-ceiling capped.
+
+    Each pipeline runs the whole graph on its own engine; their throughputs
+    add until the shared DRAM interface saturates (the reason offline FPS on
+    phones lands far below naive per-engine sums).
+    """
+    if not pipelines:
+        raise ValueError("need at least one pipeline")
+    total = sum(batch / p.latency_seconds(batch=batch) for p in pipelines)
+    if dram_gbps is None:
+        dram_gbps = pipelines[0].soc.dram_gbps
+    bytes_per_sample = sum(seg.activation_bytes for seg in pipelines[0].segments)
+    cap = dram_gbps * 1e9 / max(bytes_per_sample, 1.0)
+    return min(total, cap)
+
+
+def compile_model(
+    graph: Graph,
+    soc: SoCSpec,
+    *,
+    primary: str,
+    numerics: Numerics,
+    framework: FrameworkProfile,
+    secondary: str | None = None,
+    postprocess_cpu_ops: float = 0.0,
+    preprocess_cpu_ops: float = 0.0,
+) -> CompiledModel:
+    """Partition ``graph`` onto ``soc`` with CPU fallback."""
+    primary_acc = soc.accelerator(primary)
+    fallback = soc.accelerator("cpu")
+    secondary_acc = soc.accelerator(secondary) if secondary else None
+    segments = partition_graph(
+        graph, primary_acc, fallback, numerics, secondary_acc, framework.unsupported_ops
+    )
+    return CompiledModel(
+        model_name=graph.name,
+        task=str(graph.metadata.get("task", "unknown")),
+        soc=soc,
+        numerics=numerics,
+        segments=segments,
+        framework=framework,
+        postprocess_cpu_ops=postprocess_cpu_ops,
+        preprocess_cpu_ops=preprocess_cpu_ops,
+    )

@@ -1,0 +1,201 @@
+"""Convolution kernels (NHWC layout) implemented with im2col + BLAS matmul.
+
+Float kernels accumulate in float32/float64; the quantized kernel performs a
+genuine integer convolution with int32 accumulation followed by requantization,
+matching the TFLite reference INT8 path the paper's submissions start from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numerics import QuantParams, requantize
+
+__all__ = [
+    "pad_input",
+    "im2col",
+    "conv2d",
+    "depthwise_conv2d",
+    "conv2d_quantized",
+    "depthwise_conv2d_quantized",
+    "conv_output_shape",
+]
+
+
+def conv_output_shape(
+    in_h: int, in_w: int, k_h: int, k_w: int, stride: int, padding: str, dilation: int = 1
+) -> tuple[int, int, tuple[int, int], tuple[int, int]]:
+    """Output spatial dims plus (top,bottom)/(left,right) padding for SAME/VALID."""
+    k_h = (k_h - 1) * dilation + 1  # effective (dilated) kernel extent
+    k_w = (k_w - 1) * dilation + 1
+    if padding == "same":
+        out_h = -(-in_h // stride)
+        out_w = -(-in_w // stride)
+        pad_h = max((out_h - 1) * stride + k_h - in_h, 0)
+        pad_w = max((out_w - 1) * stride + k_w - in_w, 0)
+        pads_h = (pad_h // 2, pad_h - pad_h // 2)
+        pads_w = (pad_w // 2, pad_w - pad_w // 2)
+    elif padding == "valid":
+        out_h = (in_h - k_h) // stride + 1
+        out_w = (in_w - k_w) // stride + 1
+        pads_h = (0, 0)
+        pads_w = (0, 0)
+    else:
+        raise ValueError(f"unknown padding mode {padding!r}")
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("convolution output would be empty")
+    return out_h, out_w, pads_h, pads_w
+
+
+def pad_input(
+    x: np.ndarray, pads_h: tuple[int, int], pads_w: tuple[int, int], value: float = 0.0
+) -> np.ndarray:
+    if pads_h == (0, 0) and pads_w == (0, 0):
+        return x
+    return np.pad(x, ((0, 0), pads_h, pads_w, (0, 0)), constant_values=value)
+
+
+def im2col(
+    x: np.ndarray, k_h: int, k_w: int, stride: int, out_h: int, out_w: int, dilation: int = 1
+) -> np.ndarray:
+    """Extract (N, out_h, out_w, k_h*k_w*C) patches from padded NHWC input."""
+    n, _, _, c = x.shape
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, k_h, k_w, c),
+        strides=(s0, s1 * stride, s2 * stride, s1 * dilation, s2 * dilation, s3),
+        writeable=False,
+    )
+    return patches.reshape(n, out_h, out_w, k_h * k_w * c)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+    dilation: int = 1,
+) -> np.ndarray:
+    """Standard convolution. ``x``: (N,H,W,Cin); ``weight``: (kh,kw,Cin,Cout)."""
+    n, in_h, in_w, c_in = x.shape
+    k_h, k_w, w_cin, c_out = weight.shape
+    if w_cin != c_in:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {w_cin}")
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding, dilation)
+    xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w)
+    cols = im2col(xp, k_h, k_w, stride, out_h, out_w, dilation)
+    out = cols.reshape(-1, k_h * k_w * c_in) @ weight.reshape(-1, c_out).astype(np.float32)
+    out = out.reshape(n, out_h, out_w, c_out)
+    if bias is not None:
+        out = out + bias.astype(np.float32)
+    return out.astype(np.float32)
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+) -> np.ndarray:
+    """Depthwise convolution. ``weight``: (kh,kw,C,1) — multiplier 1 only."""
+    n, in_h, in_w, c = x.shape
+    k_h, k_w, w_c, mult = weight.shape
+    if w_c != c or mult != 1:
+        raise ValueError("depthwise weight must be (kh,kw,C,1) matching input channels")
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding)
+    xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w)
+    s0, s1, s2, s3 = xp.strides
+    patches = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, k_h, k_w, c),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+        writeable=False,
+    )
+    # einsum over the kernel window, per channel
+    out = np.einsum("nhwklc,klc->nhwc", patches, weight[..., 0].astype(np.float32))
+    if bias is not None:
+        out = out + bias.astype(np.float32)
+    return out.astype(np.float32)
+
+
+def conv2d_quantized(
+    xq: np.ndarray,
+    wq: np.ndarray,
+    bias_q: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    out_qp: QuantParams,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+    dilation: int = 1,
+) -> np.ndarray:
+    """Integer convolution with int32 accumulation.
+
+    ``bias_q`` is pre-quantized to int32 with scale ``x_scale * w_scale``
+    (per output channel when weights are per-channel), as TFLite requires.
+    """
+    n, in_h, in_w, c_in = xq.shape
+    k_h, k_w, _, c_out = wq.shape
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding, dilation)
+    x_zp = int(x_qp.zero_point[0])
+    # float64 BLAS matmul is exact here: |acc| <= 255 * 127 * K << 2**53,
+    # and is an order of magnitude faster than NumPy's integer matmul.
+    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=x_zp)
+    cols = im2col(xp, k_h, k_w, stride, out_h, out_w, dilation).reshape(-1, k_h * k_w * c_in)
+    w_mat = wq.astype(np.float64).reshape(-1, c_out)
+    acc = np.rint(cols @ w_mat).astype(np.int64)
+    # subtract zero-point contributions: sum over the patch of x_zp * w
+    acc -= x_zp * np.rint(w_mat.sum(axis=0, keepdims=True)).astype(np.int64)
+    if w_qp.per_channel:
+        w_zp = w_qp.zero_point.reshape(1, -1)
+    else:
+        w_zp = int(w_qp.zero_point[0])
+    if np.any(w_zp != 0):
+        col_sums = np.rint(cols.sum(axis=1, keepdims=True)).astype(np.int64)
+        acc -= (col_sums - x_zp * cols.shape[1]) * w_zp
+    if bias_q is not None:
+        acc = acc + bias_q.astype(np.int64)
+    eff_scale = (x_qp.scale[0] * w_qp.scale).reshape(1, -1)
+    out = requantize(acc, eff_scale, out_qp)
+    return out.reshape(n, out_h, out_w, c_out)
+
+
+def depthwise_conv2d_quantized(
+    xq: np.ndarray,
+    wq: np.ndarray,
+    bias_q: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    out_qp: QuantParams,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+) -> np.ndarray:
+    """Integer depthwise convolution with int32 accumulation."""
+    n, in_h, in_w, c = xq.shape
+    k_h, k_w, _, _ = wq.shape
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding)
+    x_zp = int(x_qp.zero_point[0])
+    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=x_zp)
+    s0, s1, s2, s3 = xp.strides
+    patches = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, k_h, k_w, c),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+        writeable=False,
+    )
+    w = wq[..., 0].astype(np.float64)
+    # center weights by their (per-channel) zero point: symmetric int8 pins
+    # w_zp at 0 but symmetric uint8 pins it mid-range (128)
+    w = w - w_qp.zero_point.astype(np.float64).reshape(1, 1, -1)
+    acc = np.rint(np.einsum("nhwklc,klc->nhwc", patches - x_zp, w)).astype(np.int64)
+    if bias_q is not None:
+        acc = acc + bias_q.astype(np.int64)
+    eff_scale = (x_qp.scale[0] * w_qp.scale).reshape(1, 1, 1, -1)
+    return requantize(acc, eff_scale, out_qp)

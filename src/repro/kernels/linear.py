@@ -1,0 +1,53 @@
+"""Fully-connected / matmul kernels, float and integer paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numerics import QuantParams, requantize
+
+__all__ = ["fully_connected", "fully_connected_quantized", "batched_matmul"]
+
+
+def fully_connected(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """``x``: (..., in_features); ``weight``: (in_features, out_features)."""
+    out = np.asarray(x, dtype=np.float32) @ np.asarray(weight, dtype=np.float32)
+    if bias is not None:
+        out = out + bias.astype(np.float32)
+    return out.astype(np.float32)
+
+
+def fully_connected_quantized(
+    xq: np.ndarray,
+    wq: np.ndarray,
+    bias_q: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    out_qp: QuantParams,
+) -> np.ndarray:
+    """Integer fully-connected with int32 accumulation and requantization."""
+    lead = xq.shape[:-1]
+    k = xq.shape[-1]
+    # exact float64 BLAS path (see conv.py): |acc| is far below 2**53
+    x2 = xq.reshape(-1, k).astype(np.float64)
+    w2 = wq.astype(np.float64)
+    x_zp = int(x_qp.zero_point[0])
+    acc = np.rint((x2 - x_zp) @ w2).astype(np.int64)
+    if w_qp.per_channel:
+        w_zp = w_qp.zero_point.reshape(1, -1)
+    else:
+        w_zp = int(w_qp.zero_point[0])
+    if np.any(w_zp != 0):
+        acc -= (np.rint(x2.sum(axis=1, keepdims=True)).astype(np.int64) - x_zp * k) * w_zp
+    if bias_q is not None:
+        acc = acc + bias_q.astype(np.int64)
+    eff_scale = (x_qp.scale[0] * w_qp.scale).reshape(1, -1)
+    out = requantize(acc, eff_scale, out_qp)
+    return out.reshape(*lead, wq.shape[1])
+
+
+def batched_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Float batched matmul used inside attention blocks."""
+    return (np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)).astype(np.float32)

@@ -1,0 +1,67 @@
+"""Recurrent kernels for the streaming speech task (paper App. E).
+
+A standard LSTM with fused gate weights, iterated over time in NumPy. The
+mobile speech reference the paper lists as in-the-works is RNN-T-shaped;
+the encoder stack here is the LSTM substrate such a model runs on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import sigmoid, tanh
+
+__all__ = ["lstm_cell", "lstm_sequence", "depth_to_space"]
+
+
+def lstm_cell(
+    x: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step. Gate order: input, forget, cell, output.
+
+    ``x``: (B, In); ``h``/``c``: (B, H); ``w_ih``: (In, 4H); ``w_hh``: (H, 4H);
+    ``bias``: (4H,). Returns (h', c').
+    """
+    hidden = h.shape[-1]
+    gates = x @ w_ih + h @ w_hh + bias
+    i = sigmoid(gates[..., :hidden])
+    f = sigmoid(gates[..., hidden : 2 * hidden])
+    g = tanh(gates[..., 2 * hidden : 3 * hidden])
+    o = sigmoid(gates[..., 3 * hidden :])
+    c_new = f * c + i * g
+    h_new = o * tanh(c_new)
+    return h_new.astype(np.float32), c_new.astype(np.float32)
+
+
+def lstm_sequence(
+    x: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+) -> np.ndarray:
+    """Run an LSTM over a full sequence. ``x``: (B, T, In) -> (B, T, H)."""
+    b, t, _ = x.shape
+    hidden = w_hh.shape[0]
+    h = np.zeros((b, hidden), dtype=np.float32)
+    c = np.zeros((b, hidden), dtype=np.float32)
+    outputs = np.empty((b, t, hidden), dtype=np.float32)
+    for step in range(t):
+        h, c = lstm_cell(x[:, step], h, c, w_ih, w_hh, bias)
+        outputs[:, step] = h
+    return outputs
+
+
+def depth_to_space(x: np.ndarray, block: int) -> np.ndarray:
+    """Pixel-shuffle upsampling: (B,H,W,C*r*r) -> (B,H*r,W*r,C)."""
+    b, h, w, c = x.shape
+    if c % (block * block):
+        raise ValueError(f"channels {c} not divisible by block^2 ({block * block})")
+    c_out = c // (block * block)
+    x = x.reshape(b, h, w, block, block, c_out)
+    x = x.transpose(0, 1, 3, 2, 4, 5)
+    return np.ascontiguousarray(x.reshape(b, h * block, w * block, c_out))

@@ -1,0 +1,25 @@
+"""The Load Generator: scenarios, QSL, SUT glue, logs, validation (paper §4)."""
+
+from .clock import VirtualClock
+from .logging import LoadGenLog, QueryRecord
+from .qsl import QuerySampleLibrary
+from .scenarios import LoadGenerator, Mode, Scenario, TestSettings, loadgen_checksum
+from .sut import AccuracySUT, OfflineResult, PerformanceSUT, SystemUnderTest
+from .validation import validate_log
+
+__all__ = [
+    "VirtualClock",
+    "QuerySampleLibrary",
+    "SystemUnderTest",
+    "AccuracySUT",
+    "PerformanceSUT",
+    "OfflineResult",
+    "LoadGenerator",
+    "TestSettings",
+    "Scenario",
+    "Mode",
+    "LoadGenLog",
+    "QueryRecord",
+    "validate_log",
+    "loadgen_checksum",
+]

@@ -1,0 +1,25 @@
+"""Virtual clock.
+
+Performance mode runs on simulated time: the SUT reports each query's
+latency from the hardware model and the LoadGen advances this clock, so the
+"minimum 60 second run" rule holds without 60 wall-clock seconds
+(DESIGN.md design decision 1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("clock cannot go backwards")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,104 @@
+"""Structured LoadGen run logs (paper §4.1, §6.2).
+
+Every run emits a :class:`LoadGenLog` — settings, per-query records, and a
+computed summary. Submissions must include these logs unedited; the
+submission checker and the independent audit both consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryRecord", "LoadGenLog"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    issue_time: float
+    latency_seconds: float
+    sample_indices: tuple[int, ...]
+    temperature_c: float = 0.0
+
+
+@dataclass
+class LoadGenLog:
+    scenario: str  # "single_stream" | "offline"
+    mode: str  # "performance" | "accuracy"
+    task: str
+    model_name: str
+    sut_name: str
+    seed: int
+    min_query_count: int
+    min_duration_s: float
+    records: list[QueryRecord] = field(default_factory=list)
+    accuracy: dict[str, float] = field(default_factory=dict)
+    offline_samples: int = 0
+    offline_seconds: float = 0.0
+    energy_joules: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    # -- summary -----------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_duration_s(self) -> float:
+        if not self.records:
+            return self.offline_seconds
+        last = self.records[-1]
+        return last.issue_time + last.latency_seconds
+
+    def latencies(self) -> np.ndarray:
+        return np.asarray([r.latency_seconds for r in self.records])
+
+    def percentile_latency(self, percentile: float = 90.0) -> float:
+        lat = self.latencies()
+        if lat.size == 0:
+            raise ValueError("no query records in log")
+        return float(np.percentile(lat, percentile))
+
+    def throughput_fps(self) -> float:
+        if self.scenario == "offline":
+            if self.offline_seconds <= 0:
+                raise ValueError("offline log missing duration")
+            return self.offline_samples / self.offline_seconds
+        return self.query_count / self.total_duration_s
+
+    def summary(self) -> dict:
+        out = {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "task": self.task,
+            "model": self.model_name,
+            "sut": self.sut_name,
+            "seed": self.seed,
+            "query_count": self.query_count,
+            "duration_s": round(self.total_duration_s, 6),
+            "energy_joules": round(self.energy_joules, 6),
+        }
+        if self.mode == "accuracy":
+            out["accuracy"] = dict(self.accuracy)
+        elif self.scenario == "single_stream":
+            out["latency_p90_ms"] = round(self.percentile_latency(90.0) * 1e3, 6)
+            out["latency_mean_ms"] = round(float(self.latencies().mean()) * 1e3, 6)
+        else:
+            out["throughput_fps"] = round(self.throughput_fps(), 3)
+        return out
+
+    def to_dict(self) -> dict:
+        """Full serializable form (the 'unedited log file')."""
+        return {
+            **self.summary(),
+            "min_query_count": self.min_query_count,
+            "min_duration_s": self.min_duration_s,
+            "offline_samples": self.offline_samples,
+            "offline_seconds": self.offline_seconds,
+            "metadata": dict(self.metadata),
+            "records": [
+                [r.issue_time, r.latency_seconds, list(r.sample_indices), r.temperature_c]
+                for r in self.records
+            ],
+        }

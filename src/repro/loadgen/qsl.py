@@ -1,0 +1,68 @@
+"""Query Sample Library: the LoadGen's view of a data set (paper §4.1).
+
+The QSL owns which samples are resident in memory and hands out seeded
+random sample indices, precluding data-set-specific optimizations (the
+submitter never knows the order in advance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.base import TaskDataset
+
+__all__ = ["QuerySampleLibrary"]
+
+
+class QuerySampleLibrary:
+    def __init__(
+        self,
+        dataset: TaskDataset,
+        performance_sample_count: int = 1024,
+        seed: int = 0x9E3779B9,
+    ):
+        self.dataset = dataset
+        self.performance_sample_count = min(performance_sample_count, len(dataset))
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._loaded: set[int] = set()
+
+    @property
+    def total_sample_count(self) -> int:
+        return len(self.dataset)
+
+    # -- residency ---------------------------------------------------------
+    def load_samples(self, indices: np.ndarray) -> None:
+        self._loaded.update(int(i) for i in indices)
+
+    def unload_samples(self, indices: np.ndarray) -> None:
+        self._loaded.difference_update(int(i) for i in indices)
+
+    @property
+    def loaded_count(self) -> int:
+        return len(self._loaded)
+
+    def load_performance_set(self) -> np.ndarray:
+        """Load the (seeded) subset used by performance mode."""
+        indices = self._rng.choice(
+            self.total_sample_count, size=self.performance_sample_count, replace=False
+        )
+        self.load_samples(indices)
+        return np.sort(indices)
+
+    # -- sampling ----------------------------------------------------------
+    def sample_indices(self, n: int, from_loaded: bool = True) -> np.ndarray:
+        """Seeded random query-sample selection."""
+        if from_loaded:
+            if not self._loaded:
+                raise RuntimeError("no samples loaded; call load_performance_set first")
+            pool = np.fromiter(self._loaded, dtype=np.int64)
+        else:
+            pool = np.arange(self.total_sample_count)
+        return self._rng.choice(pool, size=n, replace=True)
+
+    def get_feeds(self, indices: np.ndarray) -> dict[str, np.ndarray]:
+        missing = [int(i) for i in indices if int(i) not in self._loaded]
+        if missing:
+            raise RuntimeError(f"query references unloaded samples: {missing[:5]}")
+        return self.dataset.input_batch(np.asarray(indices))

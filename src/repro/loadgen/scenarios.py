@@ -1,0 +1,153 @@
+"""Execution scenarios and the LoadGen driver (paper §4.1-4.2, §6.1).
+
+Single-stream: one query at a time, sample size 1, at least 1,024 samples
+AND at least 60 seconds; the metric is 90th-percentile latency. Offline:
+one burst of 24,576 samples; the metric is average throughput. Submitters
+may not modify this module's behaviour (enforced by checksum in the
+submission checker).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import inspect
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clock import VirtualClock
+from .logging import LoadGenLog, QueryRecord
+from .qsl import QuerySampleLibrary
+from .sut import AccuracySUT, PerformanceSUT, SystemUnderTest
+
+__all__ = ["Scenario", "Mode", "TestSettings", "LoadGenerator", "loadgen_checksum"]
+
+
+class Scenario(enum.Enum):
+    SINGLE_STREAM = "single_stream"
+    OFFLINE = "offline"
+
+
+class Mode(enum.Enum):
+    PERFORMANCE = "performance"
+    ACCURACY = "accuracy"
+
+
+@dataclass(frozen=True)
+class TestSettings:
+    """Run-rule constants (§6.1). Defaults are the benchmark's own."""
+
+    scenario: Scenario = Scenario.SINGLE_STREAM
+    mode: Mode = Mode.PERFORMANCE
+    min_query_count: int = 1024
+    min_duration_s: float = 60.0
+    offline_sample_count: int = 24576
+    performance_sample_count: int = 1024
+    seed: int = 0x9E3779B9
+    latency_percentile: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.min_query_count < 1:
+            raise ValueError("min_query_count must be positive")
+        if self.min_duration_s < 0:
+            raise ValueError("min_duration_s cannot be negative")
+
+
+class LoadGenerator:
+    """Drives a SUT according to the scenario's query pattern."""
+
+    def __init__(self, settings: TestSettings):
+        self.settings = settings
+
+    def run(
+        self,
+        sut: SystemUnderTest,
+        qsl: QuerySampleLibrary,
+        *,
+        task: str = "task",
+        model_name: str = "model",
+    ) -> LoadGenLog:
+        s = self.settings
+        log = LoadGenLog(
+            scenario=s.scenario.value,
+            mode=s.mode.value,
+            task=task,
+            model_name=model_name,
+            sut_name=sut.name,
+            seed=s.seed,
+            min_query_count=s.min_query_count,
+            min_duration_s=s.min_duration_s,
+        )
+        if s.mode == Mode.ACCURACY:
+            self._run_accuracy(sut, qsl, log)
+        elif s.scenario == Scenario.SINGLE_STREAM:
+            self._run_single_stream(sut, qsl, log)
+        else:
+            self._run_offline(sut, qsl, log)
+        log.metadata["loadgen_checksum"] = loadgen_checksum()
+        return log
+
+    def _run_accuracy(self, sut: SystemUnderTest, qsl: QuerySampleLibrary, log: LoadGenLog) -> None:
+        """Feed the *entire* data set to verify model quality (§4.1)."""
+        n = qsl.total_sample_count
+        all_indices = np.arange(n)
+        qsl.load_samples(all_indices)
+        clock = VirtualClock()
+        batch = 32
+        for start in range(0, n, batch):
+            idx = all_indices[start : start + batch]
+            latency = sut.issue_query(idx)
+            log.records.append(
+                QueryRecord(clock.now(), latency, tuple(int(i) for i in idx))
+            )
+            clock.advance(max(latency, 1e-9))
+        if isinstance(sut, AccuracySUT):
+            log.accuracy = sut.evaluate()
+
+    def _run_single_stream(
+        self, sut: SystemUnderTest, qsl: QuerySampleLibrary, log: LoadGenLog
+    ) -> None:
+        """Inject one sample, wait for completion, repeat (§4.2)."""
+        s = self.settings
+        qsl.load_performance_set()
+        clock = VirtualClock()
+        issued = 0
+        while issued < s.min_query_count or clock.now() < s.min_duration_s:
+            idx = qsl.sample_indices(1)
+            latency = sut.issue_query(idx)
+            if latency <= 0:
+                raise RuntimeError("performance SUT reported non-positive latency")
+            temp = getattr(getattr(sut, "device", None), "thermal", None)
+            log.records.append(
+                QueryRecord(
+                    clock.now(), latency, (int(idx[0]),),
+                    temperature_c=temp.temperature_c if temp else 0.0,
+                )
+            )
+            clock.advance(latency)
+            issued += 1
+
+    def _run_offline(self, sut: SystemUnderTest, qsl: QuerySampleLibrary, log: LoadGenLog) -> None:
+        """Send all samples in one burst; measure aggregate throughput."""
+        s = self.settings
+        qsl.load_performance_set()
+        if not isinstance(sut, PerformanceSUT):
+            raise TypeError("offline performance mode requires a PerformanceSUT")
+        result = sut.run_offline(s.offline_sample_count)
+        log.offline_samples = result.total_samples
+        log.offline_seconds = result.total_seconds
+        log.energy_joules = result.energy_joules
+        log.metadata["steady_clock_scale"] = result.steady_clock_scale
+
+
+def loadgen_checksum() -> str:
+    """Hash of this module's source: proves the LoadGen was not modified.
+
+    Submitter modification of the LoadGen is forbidden (§4.1); the submission
+    checker compares this value against the one recorded in the run log.
+    """
+    import repro.loadgen.scenarios as me
+
+    src = inspect.getsource(me)
+    return hashlib.sha256(src.encode()).hexdigest()

@@ -1,0 +1,61 @@
+"""Post-run log validation (paper §4.1: "enable post-run validation").
+
+These checks run over an unedited :class:`LoadGenLog` and return a list of
+violations; an empty list means the run is rules-compliant. The submission
+checker and audit pipeline both call this.
+"""
+
+from __future__ import annotations
+
+from .logging import LoadGenLog
+from .scenarios import loadgen_checksum
+
+__all__ = ["validate_log"]
+
+
+def validate_log(log: LoadGenLog) -> list[str]:
+    problems: list[str] = []
+
+    if log.metadata.get("loadgen_checksum") != loadgen_checksum():
+        problems.append("loadgen checksum mismatch: the LoadGen was modified")
+
+    if log.mode == "performance" and log.scenario == "single_stream":
+        if log.query_count < log.min_query_count:
+            problems.append(
+                f"only {log.query_count} queries; rules require >= {log.min_query_count}"
+            )
+        if log.total_duration_s < log.min_duration_s:
+            problems.append(
+                f"run lasted {log.total_duration_s:.1f}s; rules require >= "
+                f"{log.min_duration_s:.0f}s"
+            )
+        # single-stream issues exactly one sample per query
+        for r in log.records[:64]:
+            if len(r.sample_indices) != 1:
+                problems.append("single-stream query carried more than one sample")
+                break
+        # timestamps must be strictly increasing with no overlap (the next
+        # query is only issued after the previous one completes)
+        prev_end = -1.0
+        for r in log.records:
+            if r.issue_time < prev_end - 1e-9:
+                problems.append("overlapping queries in single-stream log")
+                break
+            prev_end = r.issue_time + r.latency_seconds
+        if any(r.latency_seconds <= 0 for r in log.records):
+            problems.append("non-positive latency recorded")
+
+    if log.mode == "performance" and log.scenario == "offline":
+        if log.offline_samples <= 0 or log.offline_seconds <= 0:
+            problems.append("offline log missing sample count or duration")
+
+    if log.mode == "accuracy":
+        if not log.accuracy:
+            problems.append("accuracy run produced no metric")
+        covered = {i for r in log.records for i in r.sample_indices}
+        if log.records and len(covered) < log.query_count:  # sanity only
+            pass
+        if not log.records:
+            problems.append("accuracy run issued no queries")
+
+    return problems

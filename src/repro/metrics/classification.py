@@ -1,0 +1,34 @@
+"""Top-1 / Top-K accuracy (ImageNet task quality metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top1_accuracy", "topk_accuracy"]
+
+
+def top1_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction matches the label.
+
+    ``predictions``: (N,) predicted class ids or (N, C) scores.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=-1)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if len(labels) == 0:
+        raise ValueError("empty evaluation set")
+    return float((predictions == labels).mean())
+
+
+def topk_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is within the top-k scores."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2:
+        raise ValueError("topk_accuracy requires (N, C) scores")
+    k = min(k, scores.shape[1])
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())

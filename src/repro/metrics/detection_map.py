@@ -1,0 +1,111 @@
+"""COCO-style mean average precision (the object-detection quality metric).
+
+AP is computed per class with 101-point interpolation and averaged over the
+COCO IoU thresholds 0.50:0.05:0.95, then averaged over classes — the same
+definition the paper's mAP targets use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipelines.detection import Detection, iou_matrix
+
+__all__ = ["GroundTruthBox", "average_precision", "coco_map"]
+
+COCO_IOU_THRESHOLDS = np.arange(0.50, 1.0, 0.05)
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    box: tuple[float, float, float, float]
+    class_id: int
+
+
+def _match_detections(
+    detections: list[Detection],
+    truths: list[GroundTruthBox],
+    iou_threshold: float,
+) -> tuple[np.ndarray, int]:
+    """Greedy score-ordered matching for one image and one class.
+
+    Returns (tp flags aligned with detections sorted by score, num truths).
+    """
+    if not detections:
+        return np.zeros(0, dtype=bool), len(truths)
+    det_boxes = np.asarray([d.box for d in detections], dtype=np.float64)
+    order = np.argsort([-d.score for d in detections], kind="stable")
+    tp = np.zeros(len(detections), dtype=bool)
+    if not truths:
+        return tp[order], 0
+    gt_boxes = np.asarray([t.box for t in truths], dtype=np.float64)
+    ious = iou_matrix(det_boxes, gt_boxes)
+    taken = np.zeros(len(truths), dtype=bool)
+    for pos, i in enumerate(order):
+        cand = np.flatnonzero(~taken)
+        if cand.size == 0:
+            break
+        j = cand[np.argmax(ious[i, cand])]
+        if ious[i, j] >= iou_threshold:
+            taken[j] = True
+            tp[pos] = True
+    return tp, len(truths)
+
+
+def average_precision(recalls: np.ndarray, precisions: np.ndarray) -> float:
+    """COCO 101-point interpolated AP from monotonic recall/precision arrays."""
+    if len(recalls) == 0:
+        return 0.0
+    # precision envelope (non-increasing from the right)
+    precisions = np.maximum.accumulate(precisions[::-1])[::-1]
+    recall_points = np.linspace(0, 1, 101)
+    idx = np.searchsorted(recalls, recall_points, side="left")
+    interp = np.where(idx < len(precisions), precisions[np.minimum(idx, len(precisions) - 1)], 0.0)
+    return float(interp.mean())
+
+
+def coco_map(
+    all_detections: list[list[Detection]],
+    all_truths: list[list[GroundTruthBox]],
+    *,
+    iou_thresholds: np.ndarray = COCO_IOU_THRESHOLDS,
+) -> float:
+    """mAP over images. ``all_detections[i]`` / ``all_truths[i]`` pair per image.
+
+    Returns mAP in [0, 1]; the paper reports it x100 (e.g. 22.7).
+    """
+    if len(all_detections) != len(all_truths):
+        raise ValueError("detections / ground truths length mismatch")
+    class_ids = sorted(
+        {t.class_id for ts in all_truths for t in ts}
+        | {d.class_id for ds in all_detections for d in ds}
+    )
+    if not class_ids:
+        return 0.0
+    aps = []
+    for thr in iou_thresholds:
+        for c in class_ids:
+            scores, tps, n_truth = [], [], 0
+            for dets, truths in zip(all_detections, all_truths):
+                dets_c = [d for d in dets if d.class_id == c]
+                truths_c = [t for t in truths if t.class_id == c]
+                tp, n = _match_detections(dets_c, truths_c, thr)
+                tps.append(tp)
+                scores.extend(-d.score for d in sorted(dets_c, key=lambda d: -d.score))
+                n_truth += n
+            if n_truth == 0:
+                continue
+            flat_tp = np.concatenate(tps) if tps else np.zeros(0, dtype=bool)
+            if flat_tp.size == 0:
+                aps.append(0.0)
+                continue
+            order = np.argsort(scores, kind="stable")
+            flat_tp = flat_tp[order]
+            cum_tp = np.cumsum(flat_tp)
+            cum_fp = np.cumsum(~flat_tp)
+            recalls = cum_tp / n_truth
+            precisions = cum_tp / np.maximum(cum_tp + cum_fp, 1)
+            aps.append(average_precision(recalls, precisions))
+    return float(np.mean(aps)) if aps else 0.0

@@ -1,0 +1,30 @@
+"""Peak signal-to-noise ratio (the super-resolution quality metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["psnr", "mean_psnr"]
+
+
+def psnr(prediction: np.ndarray, target: np.ndarray, peak: float = 255.0) -> float:
+    """PSNR in dB between two images on a [0, peak] scale."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    mse = np.mean((prediction - target) ** 2)
+    if mse == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / mse))
+
+
+def mean_psnr(predictions: list[np.ndarray], targets: list[np.ndarray],
+              peak: float = 255.0) -> float:
+    """Dataset-level mean PSNR (infinite per-image values are clipped)."""
+    if len(predictions) != len(targets):
+        raise ValueError("prediction / target count mismatch")
+    if not predictions:
+        raise ValueError("empty evaluation set")
+    values = [min(psnr(p, t, peak), 100.0) for p, t in zip(predictions, targets)]
+    return float(np.mean(values))

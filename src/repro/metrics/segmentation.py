@@ -1,0 +1,58 @@
+"""Mean intersection-over-union (ADE20K segmentation quality metric).
+
+Implements the paper's 32-class variant: the model predicts the 31 most
+frequent ADE20K classes plus a 32nd "everything else" bucket, and mIoU only
+counts pixels whose ground-truth label is one of the 31 frequent classes
+(paper §3.2 — this deliberately discards performance on rare classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "miou", "miou_frequent_classes"]
+
+
+def confusion_matrix(pred: np.ndarray, truth: np.ndarray, num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) counts: rows = truth, cols = prediction."""
+    pred = np.asarray(pred).ravel()
+    truth = np.asarray(truth).ravel()
+    if pred.shape != truth.shape:
+        raise ValueError("prediction / truth shape mismatch")
+    valid = (truth >= 0) & (truth < num_classes) & (pred >= 0) & (pred < num_classes)
+    idx = truth[valid].astype(np.int64) * num_classes + pred[valid].astype(np.int64)
+    counts = np.bincount(idx, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def miou(conf: np.ndarray, class_subset: np.ndarray | None = None) -> float:
+    """Mean IoU from a confusion matrix, optionally over a class subset.
+
+    Classes absent from both truth and prediction are excluded from the mean.
+    """
+    conf = np.asarray(conf, dtype=np.float64)
+    inter = np.diag(conf)
+    union = conf.sum(axis=0) + conf.sum(axis=1) - inter
+    classes = np.arange(conf.shape[0]) if class_subset is None else np.asarray(class_subset)
+    ious = []
+    for c in classes:
+        if union[c] > 0:
+            ious.append(inter[c] / union[c])
+    if not ious:
+        raise ValueError("no classes present in the evaluation")
+    return float(np.mean(ious))
+
+
+def miou_frequent_classes(
+    preds: list[np.ndarray], truths: list[np.ndarray], num_classes: int = 32
+) -> float:
+    """The benchmark's metric: mIoU over classes 0..num_classes-2.
+
+    The final class (index ``num_classes - 1``) is the "other" bucket; pixels
+    whose ground truth is "other" are ignored entirely.
+    """
+    total = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for p, t in zip(preds, truths):
+        keep = t != (num_classes - 1)
+        total += confusion_matrix(p[keep], t[keep], num_classes)
+    return miou(total, class_subset=np.arange(num_classes - 1))

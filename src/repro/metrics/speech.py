@@ -1,0 +1,43 @@
+"""Speech-recognition metrics: word/token error rate (paper App. E)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["edit_distance", "word_error_rate", "token_accuracy"]
+
+
+def edit_distance(a: list[int], b: list[int]) -> int:
+    """Levenshtein distance between two token sequences."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    prev = np.arange(len(b) + 1)
+    for i, x in enumerate(a, start=1):
+        cur = np.empty(len(b) + 1, dtype=np.int64)
+        cur[0] = i
+        for j, y in enumerate(b, start=1):
+            cur[j] = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + (x != y))
+        prev = cur
+    return int(prev[-1])
+
+
+def word_error_rate(
+    hypotheses: list[list[int]], references: list[list[int]]
+) -> float:
+    """Corpus-level WER: total edit distance over total reference length."""
+    if len(hypotheses) != len(references):
+        raise ValueError("hypothesis / reference count mismatch")
+    total_err = sum(edit_distance(h, r) for h, r in zip(hypotheses, references))
+    total_ref = sum(len(r) for r in references)
+    if total_ref == 0:
+        raise ValueError("empty reference corpus")
+    return total_err / total_ref
+
+
+def token_accuracy(
+    hypotheses: list[list[int]], references: list[list[int]]
+) -> float:
+    """100 * (1 - WER), clipped at 0 — the higher-is-better quality metric."""
+    return max(0.0, (1.0 - word_error_rate(hypotheses, references))) * 100.0

@@ -1,0 +1,53 @@
+"""SQuAD v1.1 metrics: token-level F1 and exact match.
+
+The real benchmark compares answer *strings* after normalization; with the
+synthetic token-id datasets the equivalent comparison is over the predicted
+token span, which is exactly what string F1 reduces to for extractive QA
+(the answer text is the token subsequence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["span_f1", "exact_match", "squad_scores"]
+
+
+def _span_tokens(span: tuple[int, int]) -> set[int]:
+    start, end = span
+    if end < start:
+        return set()
+    return set(range(start, end + 1))
+
+
+def span_f1(predicted: tuple[int, int], truth: tuple[int, int]) -> float:
+    """Token-overlap F1 between two inclusive (start, end) spans."""
+    p = _span_tokens(predicted)
+    t = _span_tokens(truth)
+    if not p and not t:
+        return 1.0
+    if not p or not t:
+        return 0.0
+    overlap = len(p & t)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(p)
+    recall = overlap / len(t)
+    return 2 * precision * recall / (precision + recall)
+
+
+def exact_match(predicted: tuple[int, int], truth: tuple[int, int]) -> float:
+    return 1.0 if tuple(predicted) == tuple(truth) else 0.0
+
+
+def squad_scores(
+    predictions: list[tuple[int, int]], truths: list[tuple[int, int]]
+) -> dict[str, float]:
+    """Dataset-level F1 and EM, both in [0, 100] like the official script."""
+    if len(predictions) != len(truths):
+        raise ValueError("prediction / truth count mismatch")
+    if not predictions:
+        raise ValueError("empty evaluation set")
+    f1 = float(np.mean([span_f1(p, t) for p, t in zip(predictions, truths)])) * 100.0
+    em = float(np.mean([exact_match(p, t) for p, t in zip(predictions, truths)])) * 100.0
+    return {"f1": f1, "exact_match": em}

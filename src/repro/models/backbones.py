@@ -1,0 +1,77 @@
+"""Feature-extractor backbones shared between detection and segmentation."""
+
+from __future__ import annotations
+
+from ..graph.builder import GraphBuilder
+from .common import inverted_bottleneck, round_channels
+
+__all__ = ["mobilenet_v2_backbone", "MOBILENET_V2_SPEC", "MOBILENET_V2_SPEC_TRIMMED"]
+
+# (output channels, stride, expansion) — the published MobileNet v2 layout
+MOBILENET_V2_SPEC: list[tuple[int, int, int]] = [
+    (16, 1, 1),
+    (24, 2, 6),
+    (24, 1, 6),
+    (32, 2, 6),
+    (32, 1, 6),
+    (32, 1, 6),
+    (64, 2, 6),
+    (64, 1, 6),
+    (64, 1, 6),
+    (64, 1, 6),
+    (96, 1, 6),
+    (96, 1, 6),
+    (96, 1, 6),
+    (160, 2, 6),
+    (160, 1, 6),
+    (160, 1, 6),
+    (320, 1, 6),
+]
+
+
+# scaled-profile depth: one block per stage (repeats dropped). Untrained
+# (even isometric) features lose local class information with every extra
+# random block, so executable reference profiles may scale depth the same
+# way they scale width/resolution; the symbolic full-size graphs always use
+# the complete published spec.
+MOBILENET_V2_SPEC_TRIMMED: list[tuple[int, int, int]] = [
+    (16, 1, 1),
+    (24, 2, 6),
+    (32, 2, 6),
+    (64, 2, 6),
+    (96, 1, 6),
+    (160, 2, 6),
+    (320, 1, 6),
+]
+
+
+def mobilenet_v2_backbone(
+    b: GraphBuilder,
+    x: str,
+    *,
+    width: float = 1.0,
+    output_stride: int = 32,
+    depth: str = "full",
+) -> dict[int, str]:
+    """Build MobileNet v2, returning a map of stride -> endpoint tensor.
+
+    ``output_stride`` caps downsampling: strides beyond it are converted to 1
+    (the DeepLab trick for dense prediction; the atrous context recovery then
+    happens in the ASPP module). ``depth`` selects the full published spec or
+    the trimmed scaled-profile spec.
+    """
+    spec = MOBILENET_V2_SPEC if depth == "full" else MOBILENET_V2_SPEC_TRIMMED
+    endpoints: dict[int, str] = {}
+    h = b.conv(x, round_channels(32 * width), k=3, stride=2, activation="relu6", use_bn=True)
+    current_stride = 2
+    endpoints[2] = h
+    for c, stride, expansion in spec:
+        if stride == 2 and current_stride >= output_stride:
+            stride = 1
+        h = inverted_bottleneck(
+            b, h, round_channels(c * width), expansion=expansion, stride=stride,
+            activation="relu6",
+        )
+        current_stride *= stride if stride == 2 else 1
+        endpoints[current_stride] = h
+    return endpoints

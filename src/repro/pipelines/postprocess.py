@@ -1,0 +1,69 @@
+"""Non-detection post-processing: Top-K, segmentation argmax, QA spans."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k", "segmentation_map", "extract_answer_span", "greedy_ctc_decode"]
+
+
+def top_k(probs: np.ndarray, k: int = 5) -> np.ndarray:
+    """Indices of the k highest-probability classes, best first."""
+    k = min(k, probs.shape[-1])
+    idx = np.argpartition(-probs, k - 1, axis=-1)[..., :k]
+    order = np.take_along_axis(probs, idx, axis=-1).argsort(axis=-1)[..., ::-1]
+    return np.take_along_axis(idx, order, axis=-1)
+
+
+def segmentation_map(logits: np.ndarray) -> np.ndarray:
+    """Per-pixel argmax class map from (H, W, C) logits."""
+    return logits.argmax(axis=-1).astype(np.int32)
+
+
+def extract_answer_span(
+    start_logits: np.ndarray,
+    end_logits: np.ndarray,
+    *,
+    max_answer_length: int = 16,
+    context_start: int = 0,
+) -> tuple[int, int]:
+    """Best (start, end) with start <= end < start + max_answer_length.
+
+    The SQuAD convention: maximize start_logit + end_logit over valid pairs,
+    restricted to positions at or after ``context_start`` (the passage
+    region; questions cannot contain the answer).
+    """
+    s = np.asarray(start_logits, dtype=np.float64)[context_start:]
+    e = np.asarray(end_logits, dtype=np.float64)[context_start:]
+    n = len(s)
+    if n == 0:
+        raise ValueError("empty logits")
+    best = (-np.inf, 0, 0)
+    for start in range(n):
+        stop = min(n, start + max_answer_length)
+        rel_end = int(np.argmax(e[start:stop]))
+        score = s[start] + e[start + rel_end]
+        if score > best[0]:
+            best = (score, start, start + rel_end)
+    return best[1] + context_start, best[2] + context_start
+
+
+def greedy_ctc_decode(frame_logits: np.ndarray, blank_id: int | None = None) -> list[int]:
+    """Greedy streaming decode: per-frame argmax, collapse repeats, drop blank.
+
+    ``frame_logits``: (T, V) where the final class is the blank when
+    ``blank_id`` is None.
+    """
+    if frame_logits.ndim != 2:
+        raise ValueError("frame_logits must be (T, V)")
+    if blank_id is None:
+        blank_id = frame_logits.shape[1] - 1
+    best = frame_logits.argmax(axis=-1)
+    tokens: list[int] = []
+    prev = -1
+    for t in best:
+        t = int(t)
+        if t != prev and t != blank_id:
+            tokens.append(t)
+        prev = t
+    return tokens

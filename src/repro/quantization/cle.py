@@ -1,0 +1,90 @@
+"""Cross-layer equalization (Nagel et al., 2019) — data-free PTQ aid.
+
+Per-channel weight ranges across consecutive convolutions can differ by
+orders of magnitude; CLE rescales each shared channel c by
+``s_c = sqrt(range1_c / range2_c)`` — dividing the producer's output channel
+and multiplying the consumer's input channel — which leaves the FP32 network
+*exactly* unchanged (positive homogeneity of ReLU / linear boundaries) while
+balancing the ranges the quantizer must cover.
+
+Rules-compliant: purely a mathematical-equivalence transform on the frozen
+reference weights, no data and no retraining (paper §5.1 allows
+"mathematically equivalent" changes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.ops import Conv2D, DepthwiseConv2D
+
+__all__ = ["equalize_cross_layer"]
+
+# boundaries that commute with per-channel positive scaling
+_HOMOGENEOUS_ACTIVATIONS = (None, "relu")
+
+
+def _out_channel_axis(op) -> int:
+    return 2 if isinstance(op, DepthwiseConv2D) else 3
+
+
+def _in_channel_axis(op) -> int:
+    return 2
+
+
+def _weight_range(w: np.ndarray, axis: int) -> np.ndarray:
+    reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+    return np.abs(w).max(axis=reduce_axes)
+
+
+def equalize_cross_layer(graph: Graph, iterations: int = 2) -> Graph:
+    """Equalize every eligible conv->conv pair; returns a new graph.
+
+    Eligible pairs: producer is a conv/depthwise with a fused activation in
+    {none, relu}, its output has exactly one consumer, and that consumer is
+    itself a conv/depthwise (relu6 boundaries are skipped — its clamp point
+    does not commute with scaling).
+    """
+    g = graph.clone(f"{graph.name}__cle")
+    g.frozen = False
+    if g.is_symbolic:
+        raise ValueError("cross-layer equalization needs materialized weights")
+    pairs = 0
+    for _ in range(iterations):
+        producers = g.producers()
+        consumers = g.consumers()
+        for op in g.ops:
+            if not isinstance(op, (Conv2D, DepthwiseConv2D)):
+                continue
+            if op.attrs.get("activation") not in _HOMOGENEOUS_ACTIVATIONS:
+                continue
+            users = consumers.get(op.outputs[0], [])
+            if len(users) != 1 or not isinstance(users[0], (Conv2D, DepthwiseConv2D)):
+                continue
+            nxt = users[0]
+            w1 = np.asarray(g.params[op.attrs["weight"]], dtype=np.float64)
+            w2 = np.asarray(g.params[nxt.attrs["weight"]], dtype=np.float64)
+            a1, a2 = _out_channel_axis(op), _in_channel_axis(nxt)
+            r1 = np.maximum(_weight_range(w1, a1), 1e-12)
+            r2 = np.maximum(_weight_range(w2, a2), 1e-12)
+            scale = np.sqrt(r1 / r2)
+            scale = np.clip(scale, 1e-4, 1e4)
+
+            shape1 = [1] * w1.ndim
+            shape1[a1] = scale.size
+            g.params[op.attrs["weight"]] = (w1 / scale.reshape(shape1)).astype(np.float32)
+            bias_name = op.attrs.get("bias")
+            if bias_name:
+                g.params[bias_name] = (
+                    np.asarray(g.params[bias_name], dtype=np.float64) / scale
+                ).astype(np.float32)
+            shape2 = [1] * w2.ndim
+            shape2[a2] = scale.size
+            g.params[nxt.attrs["weight"]] = (w2 * scale.reshape(shape2)).astype(np.float32)
+            pairs += 1
+    g.metadata["cle_pairs"] = pairs
+    g.validate()
+    if graph.frozen:
+        g.freeze()
+    return g

@@ -1,0 +1,113 @@
+"""Range observers used during post-training-quantization calibration.
+
+The run rules (paper §5.1) only allow PTQ from an approved ~500-sample
+calibration set. Observers accumulate activation statistics over that set;
+the choice of observer (min-max vs percentile) is a real quality lever and
+is exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxObserver", "MovingAverageObserver", "PercentileObserver", "make_observer"]
+
+
+class MinMaxObserver:
+    """Tracks the global min/max ever seen. Sensitive to outliers."""
+
+    def __init__(self) -> None:
+        self.min_val = np.inf
+        self.max_val = -np.inf
+        self.count = 0
+
+    def update(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self.min_val = min(self.min_val, float(values.min()))
+        self.max_val = max(self.max_val, float(values.max()))
+        self.count += values.size
+
+    def range(self) -> tuple[float, float]:
+        if self.count == 0:
+            raise RuntimeError("observer saw no data")
+        return self.min_val, self.max_val
+
+
+class MovingAverageObserver:
+    """Exponential moving average of per-batch min/max (TF-style)."""
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.min_val: float | None = None
+        self.max_val: float | None = None
+        self.count = 0
+
+    def update(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        lo, hi = float(values.min()), float(values.max())
+        if self.min_val is None:
+            self.min_val, self.max_val = lo, hi
+        else:
+            m = self.momentum
+            self.min_val = m * self.min_val + (1 - m) * lo
+            self.max_val = m * self.max_val + (1 - m) * hi
+        self.count += values.size
+
+    def range(self) -> tuple[float, float]:
+        if self.count == 0:
+            raise RuntimeError("observer saw no data")
+        return self.min_val, self.max_val
+
+
+class PercentileObserver:
+    """Clips the range to symmetric percentiles, discarding outliers.
+
+    Keeps a reservoir sample so memory stays bounded over large calibration
+    sets while the percentile estimate remains unbiased.
+    """
+
+    def __init__(self, percentile: float = 99.9, reservoir: int = 200_000, seed: int = 0) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = percentile
+        self.reservoir_size = reservoir
+        self.samples = np.empty(0, dtype=np.float32)
+        self.count = 0
+        self.rng = np.random.default_rng(seed)
+
+    def update(self, values: np.ndarray) -> None:
+        flat = np.asarray(values, dtype=np.float32).ravel()
+        if flat.size == 0:
+            return
+        self.count += flat.size
+        if flat.size > self.reservoir_size:
+            flat = self.rng.choice(flat, self.reservoir_size, replace=False)
+        merged = np.concatenate([self.samples, flat])
+        if merged.size > self.reservoir_size:
+            merged = self.rng.choice(merged, self.reservoir_size, replace=False)
+        self.samples = merged
+
+    def range(self) -> tuple[float, float]:
+        if self.count == 0:
+            raise RuntimeError("observer saw no data")
+        lo = float(np.percentile(self.samples, 100.0 - self.percentile))
+        hi = float(np.percentile(self.samples, self.percentile))
+        if lo == hi:
+            hi = lo + 1e-8
+        return lo, hi
+
+
+def make_observer(kind: str, **kwargs):
+    """Factory: ``minmax`` | ``moving_average`` | ``percentile``."""
+    factories = {
+        "minmax": MinMaxObserver,
+        "moving_average": MovingAverageObserver,
+        "percentile": PercentileObserver,
+    }
+    if kind not in factories:
+        raise ValueError(f"unknown observer {kind!r}; choose from {sorted(factories)}")
+    return factories[kind](**kwargs)

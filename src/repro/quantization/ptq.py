@@ -1,0 +1,174 @@
+"""Post-training quantization of a frozen mobile graph.
+
+Implements the rules-compliant INT8/UINT8 path of paper §5.1: weights are
+quantized per-output-channel (symmetric), activations per-tensor (affine)
+from ranges observed on the approved calibration set, biases become int32 at
+``input_scale * weight_scale``. No retraining happens anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.executor import Executor
+from ..graph.graph import Graph
+from ..graph.ops import Conv2D, DepthToSpace, DepthwiseConv2D, FullyConnected, Reshape, Split
+from ..kernels.numerics import Numerics, QuantParams, choose_qparams, quantize
+from .observers import make_observer
+
+__all__ = ["CalibrationResult", "calibrate", "quantize_graph", "convert_fp16"]
+
+_SKIP_ROLES = {"ids", "mask"}
+_PASS_THROUGH = (Reshape, Split, DepthToSpace)
+
+
+@dataclass
+class CalibrationResult:
+    """Per-tensor observed ranges from running the calibration set."""
+
+    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    num_samples: int = 0
+    observer_kind: str = "minmax"
+
+
+def calibrate(
+    graph: Graph,
+    batches: list[dict[str, np.ndarray]],
+    observer: str = "minmax",
+    **observer_kwargs,
+) -> CalibrationResult:
+    """Run the FP32 graph over calibration batches, recording tensor ranges."""
+    if graph.numerics != Numerics.FP32:
+        raise ValueError("calibration runs on the FP32 reference graph")
+    observers: dict[str, object] = {}
+
+    def hook(name: str, values: np.ndarray) -> None:
+        obs = observers.get(name)
+        if obs is None:
+            obs = observers[name] = make_observer(observer, **observer_kwargs)
+        obs.update(values)
+
+    ex = Executor(graph)
+    n = 0
+    for feed in batches:
+        for spec in graph.inputs:
+            if spec.role not in _SKIP_ROLES:
+                hook(spec.name, np.asarray(feed[spec.name], dtype=np.float32))
+        ex.run(feed, observer=hook)
+        n += next(iter(feed.values())).shape[0]
+    ranges = {name: obs.range() for name, obs in observers.items()}
+    return CalibrationResult(ranges=ranges, num_samples=n, observer_kind=observer)
+
+
+def _weight_channel_axis(op) -> int:
+    if isinstance(op, DepthwiseConv2D):
+        return 2  # (kh, kw, C, 1)
+    if isinstance(op, Conv2D):
+        return 3  # (kh, kw, Cin, Cout)
+    if isinstance(op, FullyConnected):
+        return 1  # (in, out)
+    raise TypeError(f"op {op!r} has no quantizable weight")
+
+
+def _quantize_weight(w: np.ndarray, axis: int, numerics: Numerics, per_channel: bool) -> tuple[np.ndarray, QuantParams]:
+    if per_channel:
+        reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+        lo = w.min(axis=reduce_axes)
+        hi = w.max(axis=reduce_axes)
+        qp = choose_qparams(lo, hi, numerics, symmetric=True, axis=axis)
+    else:
+        qp = choose_qparams(float(w.min()), float(w.max()), numerics, symmetric=True)
+    return quantize(w, qp), qp
+
+
+def quantize_graph(
+    graph: Graph,
+    calibration: CalibrationResult,
+    numerics: Numerics = Numerics.INT8,
+    *,
+    per_channel: bool = True,
+) -> Graph:
+    """Produce the quantized deployment graph from an FP32 graph + calibration.
+
+    Integer-kernel ops (conv / depthwise / fully-connected) get quantized
+    weights and int32 biases; pass-through ops inherit their input's qparams
+    so raw integers flow through unchanged; every other op becomes a float
+    island with quantize/dequantize boundaries.
+    """
+    if not numerics.is_quantized:
+        raise ValueError(f"{numerics} is not a quantized format")
+    g = graph.clone(f"{graph.name}__{numerics.value}")
+    g.frozen = False
+    g.numerics = numerics
+
+    # 1) activation qparams from calibration ranges
+    for name, spec in g.tensor_specs.items():
+        if spec.role in _SKIP_ROLES:
+            continue
+        if name not in calibration.ranges:
+            raise KeyError(f"tensor {name!r} missing from calibration (graph mismatch?)")
+        lo, hi = calibration.ranges[name]
+        spec.qparams = choose_qparams(lo, hi, numerics)
+        spec.numerics = numerics
+
+    # 2) pass-through ops must not reinterpret the integer payload
+    for op in g.ops:
+        if isinstance(op, _PASS_THROUGH):
+            in_spec = g.spec(op.inputs[0])
+            for out in op.outputs:
+                g.tensor_specs[out].qparams = in_spec.qparams
+
+    # 3) weights and biases of integer-kernel ops
+    for op in g.ops:
+        if not isinstance(op, (Conv2D, DepthwiseConv2D, FullyConnected)):
+            continue
+        w_name = op.attrs["weight"]
+        w = g.params[w_name]
+        if w is None:
+            raise ValueError("cannot quantize a symbolic graph")
+        axis = _weight_channel_axis(op)
+        wq, w_qp = _quantize_weight(np.asarray(w, dtype=np.float32), axis, numerics, per_channel)
+        g.params[w_name] = wq
+        g.param_qparams[w_name] = w_qp
+        b_name = op.attrs.get("bias")
+        if b_name:
+            x_qp = g.spec(op.inputs[0]).qparams
+            bias_scale = x_qp.scale[0] * w_qp.scale  # per-channel when weights are
+            bq = np.round(np.asarray(g.params[b_name], dtype=np.float64) / bias_scale)
+            g.params[b_name] = np.clip(bq, np.iinfo(np.int32).min, np.iinfo(np.int32).max).astype(
+                np.int32
+            )
+            g.param_qparams[b_name] = QuantParams(
+                scale=bias_scale, zero_point=np.zeros_like(bias_scale, dtype=np.int64),
+                numerics=Numerics.INT16,  # tag only; storage is int32
+                axis=0 if bias_scale.size > 1 else None,
+            )
+
+    g.metadata["quantization"] = {
+        "numerics": numerics.value,
+        "per_channel": per_channel,
+        "observer": calibration.observer_kind,
+        "calibration_samples": calibration.num_samples,
+    }
+    g.freeze()
+    return g
+
+
+def convert_fp16(graph: Graph) -> Graph:
+    """FP16 deployment conversion: weights rounded to half, ops run in half."""
+    g = graph.clone(f"{graph.name}__fp16")
+    g.frozen = False
+    g.numerics = Numerics.FP16
+    for name, value in g.params.items():
+        if value is None:
+            raise ValueError("cannot convert a symbolic graph")
+        if np.issubdtype(value.dtype, np.floating):
+            g.params[name] = value.astype(np.float16).astype(np.float32)
+    for spec in g.tensor_specs.values():
+        if spec.role not in _SKIP_ROLES:
+            spec.numerics = Numerics.FP16
+    g.metadata["quantization"] = {"numerics": "fp16"}
+    g.freeze()
+    return g

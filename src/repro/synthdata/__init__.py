@@ -1,0 +1,25 @@
+"""Class-structured synthetic scene generators (lowest data layer)."""
+
+from .scenes import (
+    DetectionObject,
+    class_prototypes,
+    classification_scene_batch,
+    detection_scene_batch,
+    segmentation_scene_batch,
+    smooth_field,
+    token_sequence_batch,
+    speech_sequence_batch,
+    super_resolution_batch,
+)
+
+__all__ = [
+    "smooth_field",
+    "class_prototypes",
+    "classification_scene_batch",
+    "DetectionObject",
+    "detection_scene_batch",
+    "segmentation_scene_batch",
+    "token_sequence_batch",
+    "speech_sequence_batch",
+    "super_resolution_batch",
+]

@@ -1,0 +1,79 @@
+"""Shared fixtures. Expensive artifacts are session-scoped and tiny."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Executor, GraphBuilder, export_mobile
+from repro.models import create_reference_model
+from repro.datasets import create_dataset
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def build_toy_graph(seed: int = 7, size: int = 12, channels: int = 8):
+    """Small conv net exercising conv/dw/add/pool/fc/softmax + BN."""
+    b = GraphBuilder("toy", seed=seed)
+    x = b.input("images", (-1, size, size, 3))
+    h = b.conv(x, channels, k=3, stride=2, activation="relu6", use_bn=True)
+    h = b.dwconv(h, k=3, activation="relu6", use_bn=True)
+    h2 = b.conv(h, channels, k=1, use_bn=True)
+    h = b.add(h, h2)
+    h = b.global_pool(h)
+    h = b.reshape(h, (channels,))
+    h = b.fc(h, 10)
+    out = b.softmax(h)
+    b.outputs(out)
+    return b.build(), out
+
+
+@pytest.fixture()
+def toy_graph():
+    return build_toy_graph()
+
+
+@pytest.fixture()
+def toy_exported(toy_graph):
+    graph, out = toy_graph
+    return export_mobile(graph), out
+
+
+@pytest.fixture()
+def toy_inputs(rng):
+    return {"images": rng.normal(0, 0.5, (6, 12, 12, 3)).astype(np.float32)}
+
+
+# ---- session-scoped heavy artifacts (built once per test session) ----------
+
+@pytest.fixture(scope="session")
+def cls_bundle():
+    return create_reference_model("mobilenet_edgetpu")
+
+
+@pytest.fixture(scope="session")
+def cls_exported(cls_bundle):
+    return export_mobile(cls_bundle.graph)
+
+
+@pytest.fixture(scope="session")
+def cls_dataset(cls_bundle, cls_exported):
+    return create_dataset("imagenet", cls_exported, cls_bundle.config, size=96)
+
+
+@pytest.fixture(scope="session")
+def qa_bundle():
+    return create_reference_model("mobilebert")
+
+
+@pytest.fixture(scope="session")
+def qa_exported(qa_bundle):
+    return export_mobile(qa_bundle.graph)
+
+
+@pytest.fixture(scope="session")
+def qa_dataset(qa_bundle, qa_exported):
+    return create_dataset("squad", qa_exported, qa_bundle.config, size=48)

@@ -1,0 +1,97 @@
+"""Headless app CLI and the analysis (figure/table regeneration) layer."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    PERF_SETTINGS,
+    measure_offline,
+    measure_single_stream,
+    mlperf_feature_selfcheck,
+    table2_configurations,
+    table3_delegate_comparison,
+    table4_grid,
+)
+from repro.core.app import build_parser, main
+from repro.loadgen import Scenario, TestSettings
+
+
+class TestCLI:
+    def test_parser_rejects_unknown_soc(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--soc", "kirin"])
+
+    def test_list_socs(self, capsys):
+        assert main(["list", "socs"]) == 0
+        out = capsys.readouterr().out
+        assert "dimensity_1100" in out and "exynos_990" in out
+
+    def test_list_backends(self, capsys):
+        main(["list", "backends"])
+        assert "snpe" in capsys.readouterr().out
+
+    def test_list_tasks(self, capsys):
+        main(["list", "tasks"])
+        assert "question_answering" in capsys.readouterr().out
+
+    def test_describe_model(self, capsys):
+        assert main(["describe", "mobilenet_edgetpu"]) == 0
+        card = json.loads(capsys.readouterr().out)
+        assert card["task"] == "image_classification"
+
+    def test_quick_run_single_task(self, capsys):
+        code = main([
+            "run", "--soc", "dimensity_1100", "--quick", "--no-offline",
+            "--tasks", "question_answering", "--json",
+        ])
+        results = json.loads(capsys.readouterr().out)
+        assert len(results) == 1
+        assert results[0]["task"] == "question_answering"
+        assert code in (0, 1)  # exit code reflects quality gate
+
+    def test_ambient_out_of_rules(self):
+        from repro.core import RuleViolation
+
+        with pytest.raises(RuleViolation):
+            main(["run", "--soc", "dimensity_1100", "--quick", "--ambient", "35",
+                  "--tasks", "question_answering"])
+
+
+FAST = TestSettings(min_query_count=32, min_duration_s=0.01)
+
+
+class TestAnalysis:
+    def test_measure_single_stream_fields(self):
+        row = measure_single_stream("dimensity_1100", "image_classification",
+                                    settings=FAST)
+        assert row["latency_p90_ms"] > 0
+        assert row["config"].startswith("UINT8")
+        assert row["segments"] >= 1
+
+    def test_measure_offline(self):
+        row = measure_offline("exynos_990", sample_count=2048)
+        assert row["offline_fps"] > 0
+        assert row["pipelines"] == 2  # NPU + CPU (Table 2 ALP)
+
+    def test_table2_grid_complete(self):
+        grid = table2_configurations("v0.7")
+        assert set(grid) == {"exynos_990", "snapdragon_865plus", "dimensity_820",
+                             "core_i7_1165g7"}
+        for row in grid.values():
+            assert "image_classification_offline" in row
+
+    def test_table3_improvements_positive(self):
+        t3 = table3_delegate_comparison(settings=FAST)
+        for task, pct in t3["improvement_pct"].items():
+            assert pct > 0, f"Neuron must beat NNAPI on {task}"
+
+    def test_table4_only_mlperf_complete(self):
+        grid = table4_grid()
+        assert all(grid["MLPerf Mobile"].values())
+        for name, row in grid.items():
+            if name != "MLPerf Mobile":
+                assert not all(row.values()), f"{name} should miss a requirement"
+
+    def test_selfcheck_is_computed(self):
+        assert set(mlperf_feature_selfcheck()) == {1, 2, 3, 4, 5}

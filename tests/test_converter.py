@@ -1,0 +1,98 @@
+"""Export pipeline: BN folding, activation fusion, provenance, freezing."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Executor, GraphValidationError, export_mobile, fold_batch_norms, fuse_activations
+from repro.graph.ops import Activation, BatchNorm
+from repro.models import create_full_model
+
+from conftest import build_toy_graph
+
+
+class TestFoldBatchNorms:
+    def test_numerically_equivalent(self, toy_graph, toy_inputs):
+        graph, out = toy_graph
+        want = Executor(graph).run(toy_inputs)[out]
+        folded = fold_batch_norms(graph)
+        got = Executor(folded).run(toy_inputs)[out]
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_no_bn_ops_remain(self, toy_graph):
+        graph, _ = toy_graph
+        folded = fold_batch_norms(graph)
+        assert not any(isinstance(op, BatchNorm) for op in folded.ops)
+        assert folded.metadata["folded_batch_norms"] == 3
+
+    def test_bn_params_removed(self, toy_graph):
+        graph, _ = toy_graph
+        folded = fold_batch_norms(graph)
+        assert not any("gamma" in p for p in folded.params)
+
+    def test_original_untouched(self, toy_graph):
+        graph, _ = toy_graph
+        n_ops = len(graph.ops)
+        fold_batch_norms(graph)
+        assert len(graph.ops) == n_ops
+
+    def test_symbolic_fold_structural(self):
+        bundle = create_full_model("mobilenet_edgetpu")
+        folded = fold_batch_norms(bundle.graph)
+        assert not any(isinstance(op, BatchNorm) for op in folded.ops)
+        assert folded.is_symbolic
+        # every conv got a (symbolic) folded bias of the right shape
+        for op in folded.ops:
+            if op.op_type in ("conv2d", "depthwise_conv2d") and "b_folded" in str(
+                op.attrs.get("bias")
+            ):
+                cout = folded.spec(op.outputs[0]).shape[-1]
+                assert folded.param_shape(op.attrs["bias"]) == (cout,)
+
+
+class TestFuseActivations:
+    def test_equivalent_and_fused(self, toy_graph, toy_inputs):
+        graph, out = toy_graph
+        folded = fold_batch_norms(graph)
+        fused = fuse_activations(folded)
+        assert fused.metadata["fused_activations"] == 2
+        want = Executor(folded).run(toy_inputs)[out]
+        got = Executor(fused).run(toy_inputs)[out]
+        np.testing.assert_allclose(got, want, atol=1e-6)
+
+    def test_sigmoid_not_fused(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder("g", seed=0)
+        x = b.input("x", (-1, 4, 4, 3))
+        h = b.conv(x, 4)
+        h = b.activation(h, "sigmoid")
+        b.outputs(h)
+        fused = fuse_activations(b.build())
+        assert any(isinstance(op, Activation) for op in fused.ops)
+
+
+class TestExportMobile:
+    def test_frozen_and_stamped(self, toy_graph):
+        graph, _ = toy_graph
+        exported = export_mobile(graph)
+        assert exported.frozen
+        assert exported.metadata["source_checksum"] == graph.checksum()
+        assert exported.metadata["export_checksum"] == exported.checksum()
+        assert exported.metadata["export_format"] == "mobile-v1"
+
+    def test_frozen_immutable(self, toy_exported):
+        exported, _ = toy_exported
+        with pytest.raises(GraphValidationError):
+            exported.add_param("p", np.zeros(1, dtype=np.float32))
+
+    def test_outputs_preserved(self, toy_graph, toy_inputs):
+        graph, out = toy_graph
+        exported = export_mobile(graph)
+        want = Executor(graph).run(toy_inputs)[out]
+        got = Executor(exported).run(toy_inputs)[out]
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_export_deterministic(self):
+        g1, _ = build_toy_graph(seed=5)
+        g2, _ = build_toy_graph(seed=5)
+        assert export_mobile(g1).checksum() == export_mobile(g2).checksum()

@@ -1,0 +1,88 @@
+"""Executor: numerics dispatch, observers, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Executor, export_mobile
+from repro.kernels import Numerics
+from repro.models import create_full_model
+from repro.quantization import calibrate, convert_fp16, quantize_graph
+
+
+class TestFloatExecution:
+    def test_missing_feed_raises(self, toy_graph):
+        graph, _ = toy_graph
+        with pytest.raises(KeyError):
+            Executor(graph).run({})
+
+    def test_symbolic_rejected(self):
+        bundle = create_full_model("mobilenet_edgetpu")
+        with pytest.raises(ValueError):
+            Executor(bundle.graph)
+
+    def test_deterministic(self, toy_graph, toy_inputs):
+        graph, out = toy_graph
+        ex = Executor(graph)
+        a = ex.run(toy_inputs)[out]
+        b = ex.run(toy_inputs)[out]
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_independence(self, toy_graph, toy_inputs):
+        """Each sample's output is independent of its batch neighbours."""
+        graph, out = toy_graph
+        ex = Executor(graph)
+        full = ex.run(toy_inputs)[out]
+        single = ex.run({"images": toy_inputs["images"][2:3]})[out]
+        np.testing.assert_allclose(full[2], single[0], atol=1e-5)
+
+    def test_observer_sees_all_float_tensors(self, toy_graph, toy_inputs):
+        graph, _ = toy_graph
+        seen = set()
+        Executor(graph).run(toy_inputs, observer=lambda n, v: seen.add(n))
+        produced = {t for op in graph.ops for t in op.outputs}
+        assert produced <= seen
+
+
+class TestFP16Execution:
+    def test_outputs_differ_slightly(self, toy_exported, toy_inputs):
+        exported, out = toy_exported
+        f32 = Executor(exported).run(toy_inputs)[out]
+        f16_graph = convert_fp16(exported)
+        f16 = Executor(f16_graph).run(toy_inputs)[out]
+        diff = np.abs(f32 - f16).max()
+        assert 0 < diff < 0.05
+
+    def test_observer_rejected_on_fp16(self, toy_exported, toy_inputs):
+        exported, _ = toy_exported
+        g = convert_fp16(exported)
+        with pytest.raises(ValueError):
+            Executor(g).run(toy_inputs, observer=lambda n, v: None)
+
+
+class TestQuantizedExecution:
+    @pytest.fixture()
+    def quantized(self, toy_exported, toy_inputs):
+        exported, out = toy_exported
+        stats = calibrate(exported, [toy_inputs])
+        return quantize_graph(exported, stats), out
+
+    def test_outputs_close_to_float(self, quantized, toy_exported, toy_inputs):
+        q, out = quantized
+        exported, _ = toy_exported
+        f32 = Executor(exported).run(toy_inputs)[out]
+        q_out = Executor(q).run(toy_inputs)[out]
+        assert q_out.dtype == np.float32  # boundary dequantization
+        assert np.abs(f32 - q_out).mean() < 0.05
+
+    def test_intermediate_dtype_is_integer(self, quantized, toy_inputs):
+        """Integer-kernel ops must produce genuinely integer tensors."""
+        q, _ = quantized
+        from repro.kernels.numerics import quantize as quantize_values
+
+        env = {}
+        for spec in q.inputs:
+            arr = toy_inputs[spec.name]
+            env[spec.name] = quantize_values(arr, spec.qparams)
+        first = q.ops[0]
+        outs = first.execute_quantized([env[t] for t in first.inputs], q)
+        assert outs[0].dtype == q.numerics.np_dtype

@@ -1,0 +1,165 @@
+"""Task quality metrics: Top-1/Top-K, COCO mAP, mIoU, SQuAD F1/EM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    GroundTruthBox,
+    average_precision,
+    coco_map,
+    confusion_matrix,
+    exact_match,
+    miou,
+    miou_frequent_classes,
+    span_f1,
+    squad_scores,
+    top1_accuracy,
+    topk_accuracy,
+)
+from repro.pipelines.detection import Detection
+
+
+class TestTop1:
+    def test_from_ids(self):
+        assert top1_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_from_scores(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(scores, np.array([1, 0])) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.array([1, 2]), np.array([1]))
+
+    def test_topk(self):
+        scores = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        assert topk_accuracy(scores, np.array([1, 0]), k=2) == pytest.approx(0.5)
+        assert topk_accuracy(scores, np.array([1, 0]), k=3) == 1.0
+
+    @given(st.integers(2, 20), st.integers(5, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_topk_monotone_in_k(self, classes, n):
+        rng = np.random.default_rng(classes * n)
+        scores = rng.normal(size=(n, classes))
+        labels = rng.integers(0, classes, n)
+        accs = [topk_accuracy(scores, labels, k) for k in range(1, classes + 1)]
+        assert all(a <= b + 1e-9 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0
+
+
+def _det(box, score, cid):
+    return Detection(tuple(box), score, cid)
+
+
+def _gt(box, cid):
+    return GroundTruthBox(tuple(box), cid)
+
+
+class TestCocoMap:
+    def test_perfect_detections(self):
+        truths = [[_gt((0.1, 0.1, 0.5, 0.5), 1), _gt((0.6, 0.6, 0.9, 0.9), 2)]]
+        dets = [[_det((0.1, 0.1, 0.5, 0.5), 0.9, 1), _det((0.6, 0.6, 0.9, 0.9), 0.8, 2)]]
+        assert coco_map(dets, truths) == pytest.approx(1.0, abs=0.01)
+
+    def test_no_detections(self):
+        truths = [[_gt((0.1, 0.1, 0.5, 0.5), 1)]]
+        assert coco_map([[]], truths) == 0.0
+
+    def test_wrong_class_scores_zero(self):
+        truths = [[_gt((0.1, 0.1, 0.5, 0.5), 1)]]
+        dets = [[_det((0.1, 0.1, 0.5, 0.5), 0.9, 2)]]
+        assert coco_map(dets, truths) == 0.0
+
+    def test_localization_quality_matters(self):
+        truths = [[_gt((0.1, 0.1, 0.5, 0.5), 1)]]
+        exact = [[_det((0.1, 0.1, 0.5, 0.5), 0.9, 1)]]
+        shifted = [[_det((0.15, 0.15, 0.55, 0.55), 0.9, 1)]]  # IoU ~0.65
+        assert coco_map(exact, truths) > coco_map(shifted, truths) > 0
+
+    def test_false_positives_reduce_precision(self):
+        truths = [[_gt((0.1, 0.1, 0.5, 0.5), 1)]]
+        clean = [[_det((0.1, 0.1, 0.5, 0.5), 0.9, 1)]]
+        noisy = [[_det((0.1, 0.1, 0.5, 0.5), 0.5, 1),
+                  _det((0.6, 0.6, 0.9, 0.9), 0.9, 1)]]  # confident FP ranked first
+        assert coco_map(clean, truths) > coco_map(noisy, truths)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            coco_map([[]], [[], []])
+
+    def test_average_precision_known(self):
+        # recall 0->1 at precision 1: AP = 1
+        assert average_precision(np.array([1.0]), np.array([1.0])) == pytest.approx(1.0, abs=0.01)
+        assert average_precision(np.array([]), np.array([])) == 0.0
+
+
+class TestMiou:
+    def test_perfect(self):
+        conf = confusion_matrix(np.array([0, 1, 2]), np.array([0, 1, 2]), 3)
+        assert miou(conf) == 1.0
+
+    def test_known_value(self):
+        # 2 classes: class0 1 correct of 2 union-members, class1 1/2
+        pred = np.array([0, 1])
+        truth = np.array([0, 0])
+        conf = confusion_matrix(pred, truth, 2)
+        # class0: inter 1, union 2 -> 0.5 ; class1: inter 0, union 1 -> 0
+        assert miou(conf) == pytest.approx(0.25)
+
+    def test_absent_classes_excluded(self):
+        conf = confusion_matrix(np.array([0, 0]), np.array([0, 0]), 5)
+        assert miou(conf) == 1.0  # only class 0 present
+
+    def test_other_bucket_ignored(self):
+        preds = [np.array([[0, 1], [2, 3]])]
+        truths = [np.array([[0, 1], [2, 3]])]
+        # class 3 is "other" in a 4-class problem: perfect elsewhere
+        assert miou_frequent_classes(preds, truths, num_classes=4) == 1.0
+        # mistakes on "other" pixels cost nothing
+        preds_bad_other = [np.array([[0, 1], [2, 0]])]
+        assert miou_frequent_classes(preds_bad_other, truths, num_classes=4) == 1.0
+
+    def test_empty_eval_raises(self):
+        with pytest.raises(ValueError):
+            miou(np.zeros((3, 3)))
+
+
+class TestSquad:
+    def test_exact_match(self):
+        assert exact_match((3, 5), (3, 5)) == 1.0
+        assert exact_match((3, 5), (3, 6)) == 0.0
+
+    def test_f1_overlap(self):
+        # pred [2,4], truth [3,5]: overlap 2 tokens, |p|=3, |t|=3 -> f1=2/3
+        assert span_f1((2, 4), (3, 5)) == pytest.approx(2 / 3)
+
+    def test_f1_disjoint(self):
+        assert span_f1((0, 1), (5, 6)) == 0.0
+
+    def test_f1_perfect(self):
+        assert span_f1((7, 9), (7, 9)) == 1.0
+
+    @given(st.integers(0, 30), st.integers(0, 10), st.integers(0, 30), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounded_and_symmetric(self, s1, l1, s2, l2):
+        a, b = (s1, s1 + l1), (s2, s2 + l2)
+        f = span_f1(a, b)
+        assert 0.0 <= f <= 1.0
+        assert f == pytest.approx(span_f1(b, a))
+
+    def test_dataset_scores(self):
+        preds = [(0, 2), (5, 7)]
+        truths = [(0, 2), (6, 8)]
+        scores = squad_scores(preds, truths)
+        assert scores["exact_match"] == 50.0
+        assert 50.0 < scores["f1"] < 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            squad_scores([], [])

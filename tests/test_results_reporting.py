@@ -1,0 +1,94 @@
+"""Result records, report rendering, and the v0.7 harness path."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QUICK_RULES,
+    BenchmarkHarness,
+    BenchmarkResult,
+    SuiteResult,
+    format_report,
+)
+
+
+def _result(task="image_classification", passed=True, offline=0.0):
+    return BenchmarkResult(
+        task=task, version="v1.0", model_name="m", soc_name="soc",
+        backend_name="be", execution_config="INT8, X, NPU", numerics="int8",
+        accuracy={"top1": 75.0}, fp32_accuracy={"top1": 76.0}, metric="top1",
+        quality_target=74.5, quality_passed=passed,
+        latency_p90_ms=2.5, latency_mean_ms=2.4, throughput_fps=400.0,
+        offline_fps=offline, energy_per_query_mj=3.2,
+    )
+
+
+class TestBenchmarkResult:
+    def test_measured_quality(self):
+        assert _result().measured_quality == 75.0
+
+    def test_to_summary_fields(self):
+        s = _result().to_summary()
+        assert s["quality_passed"] is True
+        assert s["config"] == "INT8, X, NPU"
+        assert s["latency_p90_ms"] == 2.5
+
+
+class TestSuiteResult:
+    def test_result_for(self):
+        suite = SuiteResult("soc", "be", "v1.0", [_result()])
+        assert suite.result_for("image_classification").task == "image_classification"
+        with pytest.raises(KeyError):
+            suite.result_for("object_detection")
+
+    def test_all_passed(self):
+        ok = SuiteResult("s", "b", "v1.0", [_result(passed=True)])
+        bad = SuiteResult("s", "b", "v1.0", [_result(), _result("x", passed=False)])
+        assert ok.all_passed and not bad.all_passed
+
+
+class TestFormatReport:
+    def test_report_contents(self):
+        suite = SuiteResult("exynos_2100", "enn", "v1.0",
+                            [_result(passed=True, offline=674.4)])
+        text = format_report(suite)
+        assert "MLPerf Mobile v1.0" in text
+        assert "exynos_2100" in text
+        assert "ALL PASSED" in text
+        assert "offline throughput: 674.4" in text
+        assert "INT8, X, NPU" in text
+
+    def test_failures_flagged(self):
+        suite = SuiteResult("s", "b", "v1.0", [_result(passed=False)])
+        assert "FAILURES PRESENT" in format_report(suite)
+        assert "NO" in format_report(suite)
+
+
+class TestV07Harness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return BenchmarkHarness(
+            version="v0.7", rules=QUICK_RULES,
+            dataset_sizes={"coco": 24, "squad": 32},
+        )
+
+    def test_v07_uses_ssd(self, harness):
+        assert harness.model_for("object_detection") == "ssd_mobilenet_v2"
+
+    def test_v07_suite_runs(self, harness):
+        suite = harness.run_suite("dimensity_820", tasks=["question_answering"],
+                                  include_offline=False)
+        assert suite.backend_name == "nnapi"  # v0.7 MediaTek submitted NNAPI
+        r = suite.results[0]
+        assert r.energy_per_query_mj > 0
+        assert r.latency_mean_ms <= r.latency_p90_ms + 1e-9
+
+    def test_offline_included_for_classification(self):
+        harness = BenchmarkHarness(
+            version="v1.0", rules=QUICK_RULES, dataset_sizes={"imagenet": 64},
+        )
+        suite = harness.run_suite("exynos_2100", tasks=["image_classification"],
+                                  include_offline=True)
+        r = suite.results[0]
+        assert r.offline_fps > r.throughput_fps  # batching + ALP win
+        assert r.offline_log is not None
