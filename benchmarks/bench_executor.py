@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Executor throughput benchmark: unplanned vs planned vs batched execution.
+
+Measures repeated INT8 MobileNetEdgeTPU queries through three harness paths:
+
+1. ``unplanned``  — the legacy interpreting loop (``Executor.run_unplanned``),
+   which re-derives dispatch and re-reduces constant operands per query;
+2. ``planned``    — the compiled :class:`ExecutionPlan` (prepacked constants,
+   cached dispatch, tensor liveness), one sample per query;
+3. ``planned-batched`` — the plan fed ``--batch`` samples per execution, the
+   way accuracy mode and PTQ calibration pack queries.
+
+Writes ``BENCH_executor.json`` (per-path seconds/throughput, speedups, and a
+per-op profile) so the executor perf trajectory is tracked PR over PR.
+
+Run:  PYTHONPATH=src python benchmarks/bench_executor.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.graph import ExecutionPlan, ExecutionProfiler, Executor, export_mobile
+from repro.kernels import Numerics
+from repro.models import create_reference_model
+from repro.quantization import calibrate, quantize_graph
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_executor.json"
+
+
+def build_int8_mobilenet(seed: int = 0):
+    """INT8 MobileNetEdgeTPU reference graph plus a query-input pool."""
+    bundle = create_reference_model("mobilenet_edgetpu", fitted=False)
+    exported = export_mobile(bundle.graph)
+    rng = np.random.default_rng(seed)
+    shape = tuple(8 if d == -1 else d for d in exported.inputs[0].shape)
+    calib = [{"images": rng.normal(0, 0.5, shape).astype(np.float32)} for _ in range(2)]
+    stats = calibrate(exported, calib)
+    graph = quantize_graph(exported, stats, Numerics.INT8)
+    single = tuple(1 if d == -1 else d for d in exported.inputs[0].shape)
+    pool = [
+        {"images": rng.normal(0, 0.5, single).astype(np.float32)} for _ in range(8)
+    ]
+    return graph, pool
+
+
+def _time_queries(fn, pool, queries: int) -> float:
+    # one warm-up pass so compile/prepack cost is not billed to query time
+    fn(pool[0])
+    t0 = time.perf_counter()
+    for q in range(queries):
+        fn(pool[q % len(pool)])
+    return time.perf_counter() - t0
+
+
+def run_benchmark(queries: int, batch: int, check: bool) -> dict:
+    graph, pool = build_int8_mobilenet()
+    executor = Executor(graph)
+    plan = executor.plan
+
+    if check:
+        for feed in pool:
+            legacy = executor.run_unplanned(feed)
+            planned = plan.run(feed)
+            for name in legacy:
+                if not np.array_equal(legacy[name], planned[name]):
+                    raise AssertionError(
+                        f"planned executor diverged from legacy path on {name!r}"
+                    )
+
+    unplanned_s = _time_queries(executor.run_unplanned, pool, queries)
+    planned_s = _time_queries(plan.run, pool, queries)
+
+    # batched path: the same queries packed --batch samples per execution
+    batched_pool = [
+        {"images": np.concatenate([pool[(i + j) % len(pool)]["images"] for j in range(batch)])}
+        for i in range(len(pool))
+    ]
+    n_execs = max(1, queries // batch)
+    plan.run(batched_pool[0])  # warm-up at the batched shape
+    t0 = time.perf_counter()
+    for q in range(n_execs):
+        plan.run(batched_pool[q % len(batched_pool)])
+    batched_s = time.perf_counter() - t0
+    batched_queries = n_execs * batch
+
+    profiler = ExecutionProfiler()
+    plan.run(pool[0], profiler=profiler)
+
+    result = {
+        "benchmark": "bench_executor",
+        "model": "mobilenet_edgetpu[int8]",
+        "queries": queries,
+        "batch": batch,
+        "bit_exact_checked": check,
+        "plan": plan.describe(),
+        "paths": {
+            "unplanned": {
+                "seconds": unplanned_s,
+                "qps": queries / unplanned_s,
+            },
+            "planned": {
+                "seconds": planned_s,
+                "qps": queries / planned_s,
+                "speedup_vs_unplanned": unplanned_s / planned_s,
+            },
+            "planned_batched": {
+                "seconds": batched_s,
+                "queries": batched_queries,
+                "qps": batched_queries / batched_s,
+                "speedup_vs_unplanned": (
+                    (batched_queries / batched_s) / (queries / unplanned_s)
+                ),
+            },
+        },
+        "profile": profiler.as_dict(),
+    }
+    result["speedup"] = result["paths"]["planned_batched"]["speedup_vs_unplanned"]
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=256, help="timed queries per path")
+    parser.add_argument("--batch", type=int, default=16, help="samples per batched execution")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI run: fewer queries, fail on executor-vs-plan mismatch",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.batch < 1 or args.queries < 1:
+        parser.error("--batch and --queries must be positive")
+
+    queries = 64 if args.smoke else args.queries
+    result = run_benchmark(queries=queries, batch=args.batch, check=True)
+
+    paths = result["paths"]
+    print(f"unplanned        : {paths['unplanned']['qps']:8.1f} qps")
+    print(
+        f"planned          : {paths['planned']['qps']:8.1f} qps "
+        f"({paths['planned']['speedup_vs_unplanned']:.2f}x)"
+    )
+    print(
+        f"planned-batched  : {paths['planned_batched']['qps']:8.1f} qps "
+        f"({paths['planned_batched']['speedup_vs_unplanned']:.2f}x)"
+    )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.smoke and result["speedup"] < 2.0:
+        print("FAIL: planned-batched executor below the 2x acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

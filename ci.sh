@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the full test suite, then the executor smoke benchmark.
+# The smoke benchmark re-asserts plan-vs-legacy bit-exactness on INT8
+# MobileNetEdgeTPU and fails if the planned path loses its speedup.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PYTHONPATH=src
+
+python -m pytest -x -q tests
+python benchmarks/bench_executor.py --smoke

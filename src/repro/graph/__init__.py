@@ -1,9 +1,11 @@
-"""Graph IR, builder, executor and exporter — the TFLite-substrate layer."""
+"""Graph IR, builder, executor, planner and exporter — the TFLite-substrate layer."""
 
 from .builder import GraphBuilder
 from .converter import export_mobile, fold_batch_norms, fuse_activations
 from .executor import Executor
 from .graph import Graph, GraphValidationError
+from .plan import ExecutionPlan, PlannedStep
+from .profiler import ExecutionProfiler, OpProfile
 from .summary import graph_summary
 from .ops import OpCost
 from .tensor import TensorSpec
@@ -13,6 +15,10 @@ __all__ = [
     "GraphValidationError",
     "GraphBuilder",
     "Executor",
+    "ExecutionPlan",
+    "PlannedStep",
+    "ExecutionProfiler",
+    "OpProfile",
     "TensorSpec",
     "OpCost",
     "export_mobile",

@@ -4,6 +4,11 @@ This is the functional core the accuracy mode of the benchmark runs on.
 FP16 execution rounds every op output through IEEE half precision; quantized
 execution dispatches to integer kernels (or float-fallback islands) using the
 qparams installed by the PTQ pass.
+
+``Executor.run`` executes through a compiled :class:`ExecutionPlan`
+(prepacked constants, cached dispatch, tensor liveness — see
+:mod:`repro.graph.plan`); ``run_unplanned`` keeps the original interpreting
+loop, which the plan is regression-tested to match bit-exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ import numpy as np
 
 from ..kernels.numerics import Numerics, cast_fp16, dequantize, quantize
 from .graph import Graph
+from .plan import ExecutionPlan
+from .profiler import ExecutionProfiler
 
 __all__ = ["Executor"]
 
@@ -28,15 +35,35 @@ class Executor:
             raise ValueError(f"graph {graph.name!r} is symbolic and cannot execute")
         self.graph = graph
 
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The compiled plan (shared per graph, built on first use)."""
+        return ExecutionPlan.for_graph(self.graph)
+
     def run(
         self,
         feeds: dict[str, np.ndarray],
         observer: Observer | None = None,
+        profiler: ExecutionProfiler | None = None,
     ) -> dict[str, np.ndarray]:
         """Execute and return the output tensors (always dequantized floats).
 
         ``observer`` (used for PTQ calibration) is called with every float
-        intermediate; it is only valid on FP32 graphs.
+        intermediate; it is only valid on FP32 graphs. ``profiler``
+        accumulates per-op timing (see :class:`ExecutionProfiler`).
+        """
+        return self.plan.run(feeds, observer=observer, profiler=profiler)
+
+    def run_unplanned(
+        self,
+        feeds: dict[str, np.ndarray],
+        observer: Observer | None = None,
+    ) -> dict[str, np.ndarray]:
+        """The legacy per-query interpreting loop (the plan's exactness oracle).
+
+        Re-derives dispatch, qparams and constant-operand reductions on every
+        call and retains all intermediates; kept as the reference
+        implementation that ``ExecutionPlan`` must match bit-for-bit.
         """
         g = self.graph
         numerics = g.numerics

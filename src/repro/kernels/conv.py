@@ -3,9 +3,19 @@
 Float kernels accumulate in float32/float64; the quantized kernel performs a
 genuine integer convolution with int32 accumulation followed by requantization,
 matching the TFLite reference INT8 path the paper's submissions start from.
+
+Every kernel comes in two forms: the plain entry point (self-contained, derives
+everything from its arguments on each call) and a *prepacked* pair
+(``prepack_* `` + ``*_prepacked``). Prepacking hoists the constant-operand work
+— weight reshapes/casts, zero-point column sums, effective scales, bias
+widening — out of the per-query path; the plain kernels are implemented on top
+of the prepacked ones, so both paths are bit-exact by construction. The
+execution planner (:mod:`repro.graph.plan`) prepacks once per graph.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,6 +29,18 @@ __all__ = [
     "conv2d_quantized",
     "depthwise_conv2d_quantized",
     "conv_output_shape",
+    "ConvPack",
+    "QuantConvPack",
+    "DepthwiseConvPack",
+    "QuantDepthwiseConvPack",
+    "prepack_conv2d",
+    "conv2d_prepacked",
+    "prepack_conv2d_quantized",
+    "conv2d_quantized_prepacked",
+    "prepack_depthwise_conv2d",
+    "depthwise_conv2d_prepacked",
+    "prepack_depthwise_conv2d_quantized",
+    "depthwise_conv2d_quantized_prepacked",
 ]
 
 
@@ -70,6 +92,66 @@ def im2col(
     return patches.reshape(n, out_h, out_w, k_h * k_w * c)
 
 
+def _dw_patches(xp: np.ndarray, k_h: int, k_w: int, stride: int, out_h: int, out_w: int):
+    """Strided (N, out_h, out_w, k_h, k_w, C) window view over padded input."""
+    n = xp.shape[0]
+    c = xp.shape[3]
+    s0, s1, s2, s3 = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, k_h, k_w, c),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+        writeable=False,
+    )
+
+
+# -- float path --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConvPack:
+    """Constant operands of a float convolution, ready for the matmul."""
+
+    w_mat: np.ndarray  # float32 (kh*kw*Cin, Cout)
+    bias: np.ndarray | None  # float32 (Cout,)
+    k_h: int
+    k_w: int
+    c_in: int
+    c_out: int
+
+
+def prepack_conv2d(weight: np.ndarray, bias: np.ndarray | None = None) -> ConvPack:
+    """Hoist the per-call weight reshape/cast of :func:`conv2d`."""
+    k_h, k_w, c_in, c_out = weight.shape
+    w_mat = np.ascontiguousarray(weight.reshape(-1, c_out).astype(np.float32))
+    b = None if bias is None else bias.astype(np.float32)
+    return ConvPack(w_mat, b, k_h, k_w, c_in, c_out)
+
+
+def conv2d_prepacked(
+    x: np.ndarray,
+    pack: ConvPack,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+    dilation: int = 1,
+) -> np.ndarray:
+    """Float convolution against prepacked constants; bit-exact with :func:`conv2d`."""
+    n, in_h, in_w, c_in = x.shape
+    if pack.c_in != c_in:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {pack.c_in}")
+    out_h, out_w, pads_h, pads_w = conv_output_shape(
+        in_h, in_w, pack.k_h, pack.k_w, stride, padding, dilation
+    )
+    xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w)
+    cols = im2col(xp, pack.k_h, pack.k_w, stride, out_h, out_w, dilation)
+    out = cols.reshape(-1, pack.k_h * pack.k_w * c_in) @ pack.w_mat
+    out = out.reshape(n, out_h, out_w, pack.c_out)
+    if pack.bias is not None:
+        out = out + pack.bias
+    return out.astype(np.float32)
+
+
 def conv2d(
     x: np.ndarray,
     weight: np.ndarray,
@@ -80,17 +162,49 @@ def conv2d(
     dilation: int = 1,
 ) -> np.ndarray:
     """Standard convolution. ``x``: (N,H,W,Cin); ``weight``: (kh,kw,Cin,Cout)."""
-    n, in_h, in_w, c_in = x.shape
-    k_h, k_w, w_cin, c_out = weight.shape
-    if w_cin != c_in:
-        raise ValueError(f"channel mismatch: input {c_in}, weight {w_cin}")
-    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding, dilation)
+    return conv2d_prepacked(
+        x, prepack_conv2d(weight, bias), stride=stride, padding=padding, dilation=dilation
+    )
+
+
+@dataclass(frozen=True)
+class DepthwiseConvPack:
+    """Constant operands of a float depthwise convolution."""
+
+    w: np.ndarray  # float32 (kh, kw, C)
+    bias: np.ndarray | None  # float32 (C,)
+    k_h: int
+    k_w: int
+    c: int
+
+
+def prepack_depthwise_conv2d(
+    weight: np.ndarray, bias: np.ndarray | None = None
+) -> DepthwiseConvPack:
+    k_h, k_w, c, mult = weight.shape
+    if mult != 1:
+        raise ValueError("depthwise weight must be (kh,kw,C,1) — multiplier 1 only")
+    b = None if bias is None else bias.astype(np.float32)
+    return DepthwiseConvPack(weight[..., 0].astype(np.float32), b, k_h, k_w, c)
+
+
+def depthwise_conv2d_prepacked(
+    x: np.ndarray,
+    pack: DepthwiseConvPack,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+) -> np.ndarray:
+    n, in_h, in_w, c = x.shape
+    if pack.c != c:
+        raise ValueError("depthwise weight must be (kh,kw,C,1) matching input channels")
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, pack.k_h, pack.k_w, stride, padding)
     xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w)
-    cols = im2col(xp, k_h, k_w, stride, out_h, out_w, dilation)
-    out = cols.reshape(-1, k_h * k_w * c_in) @ weight.reshape(-1, c_out).astype(np.float32)
-    out = out.reshape(n, out_h, out_w, c_out)
-    if bias is not None:
-        out = out + bias.astype(np.float32)
+    patches = _dw_patches(xp, pack.k_h, pack.k_w, stride, out_h, out_w)
+    # einsum over the kernel window, per channel
+    out = np.einsum("nhwklc,klc->nhwc", patches, pack.w)
+    if pack.bias is not None:
+        out = out + pack.bias
     return out.astype(np.float32)
 
 
@@ -103,24 +217,98 @@ def depthwise_conv2d(
     padding: str = "same",
 ) -> np.ndarray:
     """Depthwise convolution. ``weight``: (kh,kw,C,1) — multiplier 1 only."""
-    n, in_h, in_w, c = x.shape
-    k_h, k_w, w_c, mult = weight.shape
-    if w_c != c or mult != 1:
-        raise ValueError("depthwise weight must be (kh,kw,C,1) matching input channels")
-    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding)
-    xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w)
-    s0, s1, s2, s3 = xp.strides
-    patches = np.lib.stride_tricks.as_strided(
-        xp,
-        shape=(n, out_h, out_w, k_h, k_w, c),
-        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
-        writeable=False,
+    return depthwise_conv2d_prepacked(
+        x, prepack_depthwise_conv2d(weight, bias), stride=stride, padding=padding
     )
-    # einsum over the kernel window, per channel
-    out = np.einsum("nhwklc,klc->nhwc", patches, weight[..., 0].astype(np.float32))
-    if bias is not None:
-        out = out + bias.astype(np.float32)
-    return out.astype(np.float32)
+
+
+# -- quantized path ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuantConvPack:
+    """Constant operands of an integer convolution.
+
+    Everything :func:`conv2d_quantized` used to recompute per call: the
+    float64 weight matrix, the x-zero-point column-sum correction, the weight
+    zero points, the int64-widened bias and the effective accumulator scale.
+    """
+
+    w_mat: np.ndarray  # float64 (kh*kw*Cin, Cout)
+    zp_colsum: np.ndarray  # int64 (1, Cout): x_zp * sum_k(w)
+    w_zp: np.ndarray | int  # per-channel (1, Cout) or scalar
+    w_zp_any: bool
+    bias: np.ndarray | None  # int64 (Cout,)
+    eff_scale: np.ndarray  # float64 (1, Cout)
+    x_zp: int
+    k_h: int
+    k_w: int
+    c_in: int
+    c_out: int
+
+
+def prepack_conv2d_quantized(
+    wq: np.ndarray,
+    bias_q: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+) -> QuantConvPack:
+    """Hoist every constant-operand reduction of :func:`conv2d_quantized`."""
+    k_h, k_w, c_in, c_out = wq.shape
+    x_zp = int(x_qp.zero_point[0])
+    w_mat = wq.astype(np.float64).reshape(-1, c_out)
+    zp_colsum = x_zp * np.rint(w_mat.sum(axis=0, keepdims=True)).astype(np.int64)
+    if w_qp.per_channel:
+        w_zp = w_qp.zero_point.reshape(1, -1)
+    else:
+        w_zp = int(w_qp.zero_point[0])
+    return QuantConvPack(
+        w_mat=w_mat,
+        zp_colsum=zp_colsum,
+        w_zp=w_zp,
+        w_zp_any=bool(np.any(w_zp != 0)),
+        bias=None if bias_q is None else bias_q.astype(np.int64),
+        eff_scale=(x_qp.scale[0] * w_qp.scale).reshape(1, -1),
+        x_zp=x_zp,
+        k_h=k_h,
+        k_w=k_w,
+        c_in=c_in,
+        c_out=c_out,
+    )
+
+
+def conv2d_quantized_prepacked(
+    xq: np.ndarray,
+    pack: QuantConvPack,
+    out_qp: QuantParams,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+    dilation: int = 1,
+) -> np.ndarray:
+    """Integer convolution with int32 accumulation against prepacked constants.
+
+    float64 BLAS matmul is exact here: |acc| <= 255 * 127 * K << 2**53,
+    and is an order of magnitude faster than NumPy's integer matmul.
+    """
+    n, in_h, in_w, c_in = xq.shape
+    out_h, out_w, pads_h, pads_w = conv_output_shape(
+        in_h, in_w, pack.k_h, pack.k_w, stride, padding, dilation
+    )
+    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=pack.x_zp)
+    cols = im2col(xp, pack.k_h, pack.k_w, stride, out_h, out_w, dilation).reshape(
+        -1, pack.k_h * pack.k_w * c_in
+    )
+    acc = np.rint(cols @ pack.w_mat).astype(np.int64)
+    # subtract zero-point contributions: sum over the patch of x_zp * w
+    acc -= pack.zp_colsum
+    if pack.w_zp_any:
+        col_sums = np.rint(cols.sum(axis=1, keepdims=True)).astype(np.int64)
+        acc -= (col_sums - pack.x_zp * cols.shape[1]) * pack.w_zp
+    if pack.bias is not None:
+        acc = acc + pack.bias
+    out = requantize(acc, pack.eff_scale, out_qp)
+    return out.reshape(n, out_h, out_w, pack.c_out)
 
 
 def conv2d_quantized(
@@ -140,30 +328,64 @@ def conv2d_quantized(
     ``bias_q`` is pre-quantized to int32 with scale ``x_scale * w_scale``
     (per output channel when weights are per-channel), as TFLite requires.
     """
-    n, in_h, in_w, c_in = xq.shape
-    k_h, k_w, _, c_out = wq.shape
-    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding, dilation)
-    x_zp = int(x_qp.zero_point[0])
-    # float64 BLAS matmul is exact here: |acc| <= 255 * 127 * K << 2**53,
-    # and is an order of magnitude faster than NumPy's integer matmul.
-    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=x_zp)
-    cols = im2col(xp, k_h, k_w, stride, out_h, out_w, dilation).reshape(-1, k_h * k_w * c_in)
-    w_mat = wq.astype(np.float64).reshape(-1, c_out)
-    acc = np.rint(cols @ w_mat).astype(np.int64)
-    # subtract zero-point contributions: sum over the patch of x_zp * w
-    acc -= x_zp * np.rint(w_mat.sum(axis=0, keepdims=True)).astype(np.int64)
-    if w_qp.per_channel:
-        w_zp = w_qp.zero_point.reshape(1, -1)
-    else:
-        w_zp = int(w_qp.zero_point[0])
-    if np.any(w_zp != 0):
-        col_sums = np.rint(cols.sum(axis=1, keepdims=True)).astype(np.int64)
-        acc -= (col_sums - x_zp * cols.shape[1]) * w_zp
-    if bias_q is not None:
-        acc = acc + bias_q.astype(np.int64)
-    eff_scale = (x_qp.scale[0] * w_qp.scale).reshape(1, -1)
-    out = requantize(acc, eff_scale, out_qp)
-    return out.reshape(n, out_h, out_w, c_out)
+    pack = prepack_conv2d_quantized(wq, bias_q, x_qp, w_qp)
+    return conv2d_quantized_prepacked(
+        xq, pack, out_qp, stride=stride, padding=padding, dilation=dilation
+    )
+
+
+@dataclass(frozen=True)
+class QuantDepthwiseConvPack:
+    """Constant operands of an integer depthwise convolution."""
+
+    w: np.ndarray  # float64 (kh, kw, C), already centered by the weight zero point
+    bias: np.ndarray | None  # int64 (C,)
+    eff_scale: np.ndarray  # float64 (1, 1, 1, C)
+    x_zp: int
+    k_h: int
+    k_w: int
+    c: int
+
+
+def prepack_depthwise_conv2d_quantized(
+    wq: np.ndarray,
+    bias_q: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+) -> QuantDepthwiseConvPack:
+    k_h, k_w, c, _ = wq.shape
+    w = wq[..., 0].astype(np.float64)
+    # center weights by their (per-channel) zero point: symmetric int8 pins
+    # w_zp at 0 but symmetric uint8 pins it mid-range (128)
+    w = w - w_qp.zero_point.astype(np.float64).reshape(1, 1, -1)
+    return QuantDepthwiseConvPack(
+        w=w,
+        bias=None if bias_q is None else bias_q.astype(np.int64),
+        eff_scale=(x_qp.scale[0] * w_qp.scale).reshape(1, 1, 1, -1),
+        x_zp=int(x_qp.zero_point[0]),
+        k_h=k_h,
+        k_w=k_w,
+        c=c,
+    )
+
+
+def depthwise_conv2d_quantized_prepacked(
+    xq: np.ndarray,
+    pack: QuantDepthwiseConvPack,
+    out_qp: QuantParams,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+) -> np.ndarray:
+    """Integer depthwise convolution with int32 accumulation."""
+    n, in_h, in_w, c = xq.shape
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, pack.k_h, pack.k_w, stride, padding)
+    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=pack.x_zp)
+    patches = _dw_patches(xp, pack.k_h, pack.k_w, stride, out_h, out_w)
+    acc = np.rint(np.einsum("nhwklc,klc->nhwc", patches - pack.x_zp, pack.w)).astype(np.int64)
+    if pack.bias is not None:
+        acc = acc + pack.bias
+    return requantize(acc, pack.eff_scale, out_qp)
 
 
 def depthwise_conv2d_quantized(
@@ -178,24 +400,5 @@ def depthwise_conv2d_quantized(
     padding: str = "same",
 ) -> np.ndarray:
     """Integer depthwise convolution with int32 accumulation."""
-    n, in_h, in_w, c = xq.shape
-    k_h, k_w, _, _ = wq.shape
-    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k_h, k_w, stride, padding)
-    x_zp = int(x_qp.zero_point[0])
-    xp = pad_input(xq.astype(np.float64), pads_h, pads_w, value=x_zp)
-    s0, s1, s2, s3 = xp.strides
-    patches = np.lib.stride_tricks.as_strided(
-        xp,
-        shape=(n, out_h, out_w, k_h, k_w, c),
-        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
-        writeable=False,
-    )
-    w = wq[..., 0].astype(np.float64)
-    # center weights by their (per-channel) zero point: symmetric int8 pins
-    # w_zp at 0 but symmetric uint8 pins it mid-range (128)
-    w = w - w_qp.zero_point.astype(np.float64).reshape(1, 1, -1)
-    acc = np.rint(np.einsum("nhwklc,klc->nhwc", patches - x_zp, w)).astype(np.int64)
-    if bias_q is not None:
-        acc = acc + bias_q.astype(np.int64)
-    eff_scale = (x_qp.scale[0] * w_qp.scale).reshape(1, 1, 1, -1)
-    return requantize(acc, eff_scale, out_qp)
+    pack = prepack_depthwise_conv2d_quantized(wq, bias_q, x_qp, w_qp)
+    return depthwise_conv2d_quantized_prepacked(xq, pack, out_qp, stride=stride, padding=padding)

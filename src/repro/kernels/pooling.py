@@ -15,6 +15,25 @@ __all__ = [
 ]
 
 
+def _pool_window_view(x: np.ndarray, k: int, stride: int, padding: str, pad_value: float):
+    """Strided (N, out_h, out_w, k, k, C) window view over the padded input.
+
+    No patch materialization: reductions that are order-insensitive (max)
+    run directly on the view instead of forcing the contiguous copy that
+    ``im2col(...).reshape`` implies.
+    """
+    n, in_h, in_w, c = x.shape
+    out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k, k, stride, padding)
+    xp = pad_input(np.ascontiguousarray(x, dtype=np.float32), pads_h, pads_w, value=pad_value)
+    s0, s1, s2, s3 = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, k, k, c),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+        writeable=False,
+    )
+
+
 def _pool_patches(x: np.ndarray, k: int, stride: int, padding: str, pad_value: float):
     n, in_h, in_w, c = x.shape
     out_h, out_w, pads_h, pads_w = conv_output_shape(in_h, in_w, k, k, stride, padding)
@@ -24,6 +43,8 @@ def _pool_patches(x: np.ndarray, k: int, stride: int, padding: str, pad_value: f
 
 
 def avg_pool2d(x: np.ndarray, k: int, stride: int | None = None, padding: str = "valid") -> np.ndarray:
+    # mean keeps the materialized-patch path: its summation order (and hence
+    # float rounding) must stay identical to the historical im2col layout
     stride = stride or k
     patches = _pool_patches(x, k, stride, padding, 0.0)
     return patches.mean(axis=3).astype(np.float32)
@@ -31,8 +52,8 @@ def avg_pool2d(x: np.ndarray, k: int, stride: int | None = None, padding: str = 
 
 def max_pool2d(x: np.ndarray, k: int, stride: int | None = None, padding: str = "valid") -> np.ndarray:
     stride = stride or k
-    patches = _pool_patches(x, k, stride, padding, -np.inf)
-    return patches.max(axis=3).astype(np.float32)
+    view = _pool_window_view(x, k, stride, padding, -np.inf)
+    return view.max(axis=(3, 4)).astype(np.float32)
 
 
 def global_avg_pool(x: np.ndarray, keepdims: bool = True) -> np.ndarray:

@@ -46,12 +46,18 @@ class TestSettings:
     performance_sample_count: int = 1024
     seed: int = 0x9E3779B9
     latency_percentile: float = 90.0
+    # accuracy mode packs this many samples into each batched graph execution;
+    # results are per-sample and independent of the packing, so this is a
+    # harness-throughput knob, not a run rule
+    accuracy_batch_size: int = 32
 
     def __post_init__(self) -> None:
         if self.min_query_count < 1:
             raise ValueError("min_query_count must be positive")
         if self.min_duration_s < 0:
             raise ValueError("min_duration_s cannot be negative")
+        if self.accuracy_batch_size < 1:
+            raise ValueError("accuracy_batch_size must be positive")
 
 
 class LoadGenerator:
@@ -94,7 +100,7 @@ class LoadGenerator:
         all_indices = np.arange(n)
         qsl.load_samples(all_indices)
         clock = VirtualClock()
-        batch = 32
+        batch = self.settings.accuracy_batch_size
         for start in range(0, n, batch):
             idx = all_indices[start : start + batch]
             latency = sut.issue_query(idx)
@@ -114,14 +120,16 @@ class LoadGenerator:
         clock = VirtualClock()
         issued = 0
         while issued < s.min_query_count or clock.now() < s.min_duration_s:
-            idx = qsl.sample_indices(1)
-            latency = sut.issue_query(idx)
+            # served from a pre-drawn index block: same seeded sequence as a
+            # per-query sample_indices(1) draw, without per-query RNG overhead
+            idx = qsl.next_sample_index()
+            latency = sut.issue_query(np.array([idx], dtype=np.int64))
             if latency <= 0:
                 raise RuntimeError("performance SUT reported non-positive latency")
             temp = getattr(getattr(sut, "device", None), "thermal", None)
             log.records.append(
                 QueryRecord(
-                    clock.now(), latency, (int(idx[0]),),
+                    clock.now(), latency, (int(idx),),
                     temperature_c=temp.temperature_c if temp else 0.0,
                 )
             )

@@ -43,21 +43,53 @@ class SystemUnderTest(abc.ABC):
 
 
 class AccuracySUT(SystemUnderTest):
-    """Runs the functional graph; used by accuracy mode."""
+    """Runs the functional graph through the planned executor; accuracy mode.
 
-    def __init__(self, graph: Graph, dataset: TaskDataset, name: str = "accuracy-sut"):
+    ``workers > 1`` splits each batched query across a thread pool, one
+    planned execution per chunk (the offline accuracy path). The compiled
+    plan is shared — prepacked constants are read-only — and every sample's
+    prediction is computed independently, so results are identical to the
+    sequential path regardless of worker count.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        dataset: TaskDataset,
+        name: str = "accuracy-sut",
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.graph = graph
         self.dataset = dataset
         self.executor = Executor(graph)
         self.name = name
+        self.workers = workers
         self.predictions: dict[int, object] = {}
+        self._pool = None
+
+    def _predict_chunk(self, indices: np.ndarray) -> list[tuple[int, object]]:
+        feeds = self.dataset.input_batch(indices)
+        outputs = self.executor.run(feeds)
+        results = []
+        for j, i in enumerate(indices):
+            per_sample = {k: v[j] for k, v in outputs.items()}
+            results.append((int(i), self.dataset.postprocess(per_sample, int(i))))
+        return results
 
     def issue_query(self, indices: np.ndarray) -> float:
-        feeds = self.dataset.input_batch(np.asarray(indices))
-        outputs = self.executor.run(feeds)
-        for j, i in enumerate(np.asarray(indices)):
-            per_sample = {k: v[j] for k, v in outputs.items()}
-            self.predictions[int(i)] = self.dataset.postprocess(per_sample, int(i))
+        indices = np.asarray(indices)
+        if self.workers > 1 and len(indices) >= 2 * self.workers:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            chunks = np.array_split(indices, self.workers)
+            for chunk_results in self._pool.map(self._predict_chunk, chunks):
+                self.predictions.update(chunk_results)
+        else:
+            self.predictions.update(self._predict_chunk(indices))
         return 0.0  # accuracy mode is untimed
 
     def evaluate(self) -> dict[str, float]:

@@ -8,11 +8,18 @@ from .observers import (
     PercentileObserver,
     make_observer,
 )
-from .ptq import CalibrationResult, calibrate, convert_fp16, quantize_graph
+from .ptq import (
+    CalibrationResult,
+    calibrate,
+    convert_fp16,
+    pack_calibration_batches,
+    quantize_graph,
+)
 
 __all__ = [
     "CalibrationResult",
     "calibrate",
+    "pack_calibration_batches",
     "quantize_graph",
     "convert_fp16",
     "apply_bias_correction",

@@ -18,7 +18,13 @@ from ..graph.ops import Conv2D, DepthToSpace, DepthwiseConv2D, FullyConnected, R
 from ..kernels.numerics import Numerics, QuantParams, choose_qparams, quantize
 from .observers import make_observer
 
-__all__ = ["CalibrationResult", "calibrate", "quantize_graph", "convert_fp16"]
+__all__ = [
+    "CalibrationResult",
+    "calibrate",
+    "pack_calibration_batches",
+    "quantize_graph",
+    "convert_fp16",
+]
 
 _SKIP_ROLES = {"ids", "mask"}
 _PASS_THROUGH = (Reshape, Split, DepthToSpace)
@@ -33,15 +39,50 @@ class CalibrationResult:
     observer_kind: str = "minmax"
 
 
+def pack_calibration_batches(
+    batches: list[dict[str, np.ndarray]], batch_size: int
+) -> list[dict[str, np.ndarray]]:
+    """Concatenate consecutive calibration feeds into ~``batch_size`` batches.
+
+    Larger batches amortize the per-run dispatch cost of the planned
+    executor. The set of observed values is unchanged; only the grouping of
+    observer updates differs, so order-sensitive observers (moving average)
+    see a coarser update sequence — use only where that is acceptable.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    packed: list[dict[str, np.ndarray]] = []
+    group: list[dict[str, np.ndarray]] = []
+    count = 0
+    for feed in batches:
+        group.append(feed)
+        count += next(iter(feed.values())).shape[0]
+        if count >= batch_size:
+            packed.append({k: np.concatenate([f[k] for f in group]) for k in group[0]})
+            group, count = [], 0
+    if group:
+        packed.append({k: np.concatenate([f[k] for f in group]) for k in group[0]})
+    return packed
+
+
 def calibrate(
     graph: Graph,
     batches: list[dict[str, np.ndarray]],
     observer: str = "minmax",
+    batch_size: int | None = None,
     **observer_kwargs,
 ) -> CalibrationResult:
-    """Run the FP32 graph over calibration batches, recording tensor ranges."""
+    """Run the FP32 graph over calibration batches, recording tensor ranges.
+
+    Execution goes through the planned executor (prepacked constants are
+    reused across the whole calibration set). ``batch_size`` optionally
+    re-packs the provided feeds into larger batched executions via
+    :func:`pack_calibration_batches`.
+    """
     if graph.numerics != Numerics.FP32:
         raise ValueError("calibration runs on the FP32 reference graph")
+    if batch_size is not None:
+        batches = pack_calibration_batches(batches, batch_size)
     observers: dict[str, object] = {}
 
     def hook(name: str, values: np.ndarray) -> None:
