@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: the full test suite, then the executor smoke benchmark.
-# The smoke benchmark re-asserts plan-vs-legacy bit-exactness on INT8
+# Tier-1 CI gate: the conformance/fault suites first (fast, and they guard
+# the run-rule correctness the whole benchmark's credibility rests on),
+# then the full test suite, then the executor smoke benchmark. The smoke
+# benchmark re-asserts plan-vs-legacy bit-exactness on INT8
 # MobileNetEdgeTPU and fails if the planned path loses its speedup.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export PYTHONPATH=src
 
+python -m pytest -x -q tests/test_conformance.py tests/test_faults.py
 python -m pytest -x -q tests
 python benchmarks/bench_executor.py --smoke

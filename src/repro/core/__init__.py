@@ -1,7 +1,7 @@
 """Benchmark core: tasks, run rules, harness, results, submissions, audit."""
 
 from .audit import AuditFinding, AuditReport, audit_submission
-from .export import load_log, load_submission_summary, write_submission
+from .export import load_log, load_submission_summary, validate_package, write_submission
 from .harness import BenchmarkHarness, ReferenceArtifacts
 from .results import BenchmarkResult, SuiteResult, format_report
 from .rules import DEFAULT_RULES, QUICK_RULES, RuleViolation, RunRules
@@ -41,4 +41,5 @@ __all__ = [
     "write_submission",
     "load_submission_summary",
     "load_log",
+    "validate_package",
 ]

@@ -64,9 +64,17 @@ def audit_submission(
     *,
     tolerance: float | None = None,
 ) -> AuditReport:
-    """Rerun the submitted configuration and verify the scores."""
+    """Rerun the submitted configuration and verify the scores.
+
+    The auditor works from the submission *package*, not live objects: every
+    log is round-tripped through its serialized form and validated as
+    deserialized JSON, exactly like a bundle received on disk, before the
+    reproduction run is compared against the claimed numbers.
+    """
     tolerance = tolerance if tolerance is not None else harness.rules.audit_tolerance
-    problems = check_submission(submission)
+    # check_submission round-trips every log through validate_serialized, so
+    # the checker problems already cover edited summaries / schema corruption
+    problems = list(check_submission(submission))
     report = AuditReport(submission_ok=not problems, checker_problems=problems)
 
     # rebuild + rerun on a fresh (factory-reset) simulated device
@@ -77,6 +85,8 @@ def audit_submission(
         include_offline=any(r.offline_fps for r in submission.suite.results),
     )
     for sub_r in submission.suite.results:
+        if sub_r.error:
+            continue  # flagged by the checker; nothing to reproduce
         rep_r = reproduced.result_for(sub_r.task)
         report.findings.append(
             _compare(sub_r.task, "quality", sub_r.measured_quality,

@@ -12,11 +12,16 @@ from __future__ import annotations
 import json
 import pathlib
 
-from ..loadgen.logging import LoadGenLog, QueryRecord
-from .results import BenchmarkResult, SuiteResult
-from .submission import Submission, SystemDescription
+from ..loadgen.logging import LoadGenLog
+from ..loadgen.validation import validate_serialized
+from .submission import Submission
 
-__all__ = ["write_submission", "load_submission_summary", "load_log"]
+__all__ = [
+    "write_submission",
+    "load_submission_summary",
+    "load_log",
+    "validate_package",
+]
 
 
 def _write_json(path: pathlib.Path, payload) -> None:
@@ -66,26 +71,40 @@ def load_submission_summary(directory: str | pathlib.Path) -> list[dict]:
 def load_log(path: str | pathlib.Path) -> LoadGenLog:
     """Rehydrate an unedited log file back into a :class:`LoadGenLog`.
 
-    Round-tripping matters: the audit can revalidate logs from disk exactly
-    as they were submitted.
+    Round-tripping is lossless (``from_dict`` inverts ``to_dict``): the
+    audit revalidates logs from disk exactly as they were submitted.
     """
     with open(path) as fh:
         raw = json.load(fh)
-    log = LoadGenLog(
-        scenario=raw["scenario"],
-        mode=raw["mode"],
-        task=raw["task"],
-        model_name=raw["model"],
-        sut_name=raw["sut"],
-        seed=raw["seed"],
-        min_query_count=raw["min_query_count"],
-        min_duration_s=raw["min_duration_s"],
-    )
-    log.offline_samples = raw.get("offline_samples", 0)
-    log.offline_seconds = raw.get("offline_seconds", 0.0)
-    log.energy_joules = raw.get("energy_joules", 0.0)
-    log.accuracy = dict(raw.get("accuracy", {}))
-    log.metadata = dict(raw.get("metadata", {}))
-    for issue, latency, indices, temp in raw.get("records", []):
-        log.records.append(QueryRecord(issue, latency, tuple(indices), temp))
-    return log
+    return LoadGenLog.from_dict(raw)
+
+
+def validate_package(directory: str | pathlib.Path) -> list[str]:
+    """Conformance-check an on-disk submission bundle.
+
+    Walks every ``*_log.json`` under ``results/`` and runs the serialized
+    validator over the raw JSON. Unreadable or corrupt files come back as
+    violations, never exceptions — one bad file must not kill a checker
+    sweep over a whole submission round.
+    """
+    root = pathlib.Path(directory)
+    problems: list[str] = []
+    for name in ("system.json", "provenance.json", "summary.json"):
+        if not (root / name).exists():
+            problems.append(f"package missing {name}")
+    results_dir = root / "results"
+    if not results_dir.is_dir():
+        problems.append("package has no results/ directory")
+        return problems
+    log_files = sorted(results_dir.glob("*/*_log.json"))
+    if not log_files:
+        problems.append("package contains no log files")
+    for path in log_files:
+        label = str(path.relative_to(root))
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{label}: unreadable log file ({exc})")
+            continue
+        problems += [f"{label}: {v}" for v in validate_serialized(raw)]
+    return problems

@@ -124,10 +124,13 @@ class BenchmarkHarness:
             self.rules.loadgen_settings(Scenario.SINGLE_STREAM, Mode.ACCURACY),
             accuracy_batch_size=self.accuracy_batch_size,
         )
-        log = LoadGenerator(settings).run(
-            sut, QuerySampleLibrary(art.dataset),
-            task=task, model_name=self.model_for(task),
-        )
+        try:
+            log = LoadGenerator(settings).run(
+                sut, QuerySampleLibrary(art.dataset),
+                task=task, model_name=self.model_for(task),
+            )
+        finally:
+            sut.close()
         return log
 
     def fp32_accuracy(self, task: str) -> dict[str, float]:
@@ -183,44 +186,79 @@ class BenchmarkHarness:
         for task in FULL_TASK_ORDER:
             if task not in selected:
                 continue
-            spec = get_task(task)
-            exec_cfg = backend.task_execution(task)
-            numerics = exec_cfg.numerics
+            try:
+                suite.results.append(
+                    self._run_task(task, backend, device, soc_name, include_offline)
+                )
+            except Exception as exc:  # degrade, don't crash mid-suite
+                def _safe(fn, default=""):
+                    try:
+                        return fn()
+                    except Exception:
+                        return default
 
-            fp32_acc = self.fp32_accuracy(task)
-            acc_log = self.run_accuracy(task, numerics)
-            target = spec.quality_ratio[self.version] * fp32_acc[spec.metric]
-            passed = acc_log.accuracy[spec.metric] >= target
-
-            perf_log = self.run_performance(task, backend, device)
-            device.cooldown(self.rules.cooldown_s)
-
-            result = BenchmarkResult(
-                task=task,
-                version=self.version,
-                model_name=self.model_for(task),
-                soc_name=soc_name,
-                backend_name=backend.name,
-                execution_config=backend.describe(task),
-                numerics=numerics.value,
-                accuracy=acc_log.accuracy,
-                fp32_accuracy=fp32_acc,
-                metric=spec.metric,
-                quality_target=target,
-                quality_passed=passed,
-                latency_p90_ms=perf_log.percentile_latency(self.rules.latency_percentile) * 1e3,
-                latency_mean_ms=float(perf_log.latencies().mean()) * 1e3,
-                throughput_fps=perf_log.throughput_fps(),
-                energy_per_query_mj=(
-                    device.total_energy_joules / max(perf_log.query_count, 1) * 1e3
-                ),
-                accuracy_log=acc_log,
-                performance_log=perf_log,
-            )
-            if include_offline and spec.offline_scenario:
-                off_log = self.run_offline(task, backend, device)
-                result.offline_fps = off_log.throughput_fps()
-                result.offline_log = off_log
-                device.cooldown(self.rules.cooldown_s)
-            suite.results.append(result)
+                suite.results.append(
+                    BenchmarkResult(
+                        task=task,
+                        version=self.version,
+                        model_name=_safe(lambda: self.model_for(task)),
+                        soc_name=soc_name,
+                        backend_name=backend.name,
+                        execution_config=_safe(lambda: backend.describe(task)),
+                        numerics=_safe(
+                            lambda: backend.task_execution(task).numerics.value
+                        ),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
         return suite
+
+    def _run_task(
+        self,
+        task: str,
+        backend: Backend,
+        device: SimulatedDevice,
+        soc_name: str,
+        include_offline: bool,
+    ) -> BenchmarkResult:
+        spec = get_task(task)
+        exec_cfg = backend.task_execution(task)
+        numerics = exec_cfg.numerics
+
+        fp32_acc = self.fp32_accuracy(task)
+        acc_log = self.run_accuracy(task, numerics)
+        target = spec.quality_ratio[self.version] * fp32_acc[spec.metric]
+        passed = acc_log.accuracy.get(spec.metric, 0.0) >= target
+
+        perf_log = self.run_performance(task, backend, device)
+        device.cooldown(self.rules.cooldown_s)
+
+        result = BenchmarkResult(
+            task=task,
+            version=self.version,
+            model_name=self.model_for(task),
+            soc_name=soc_name,
+            backend_name=backend.name,
+            execution_config=backend.describe(task),
+            numerics=numerics.value,
+            accuracy=acc_log.accuracy,
+            fp32_accuracy=fp32_acc,
+            metric=spec.metric,
+            quality_target=target,
+            quality_passed=passed,
+            latency_p90_ms=perf_log.percentile_latency(self.rules.latency_percentile) * 1e3,
+            latency_mean_ms=float(perf_log.latencies().mean()) * 1e3,
+            throughput_fps=perf_log.throughput_fps(),
+            energy_per_query_mj=(
+                device.total_energy_joules / max(perf_log.query_count, 1) * 1e3
+            ),
+            accuracy_log=acc_log,
+            performance_log=perf_log,
+        )
+        if include_offline and spec.offline_scenario:
+            off_log = self.run_offline(task, backend, device)
+            if off_log.offline_seconds > 0:
+                result.offline_fps = off_log.throughput_fps()
+            result.offline_log = off_log
+            device.cooldown(self.rules.cooldown_s)
+        return result

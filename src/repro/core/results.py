@@ -39,10 +39,24 @@ class BenchmarkResult:
     accuracy_log: LoadGenLog | None = None
     performance_log: LoadGenLog | None = None
     offline_log: LoadGenLog | None = None
+    # fault tolerance: non-empty when the task could not produce a full
+    # result; the suite carries the flagged partial entry instead of crashing
+    error: str = ""
 
     @property
     def measured_quality(self) -> float:
         return self.accuracy.get(self.metric, 0.0)
+
+    @property
+    def degraded(self) -> bool:
+        if self.error:
+            return True
+        for log in (self.accuracy_log, self.performance_log, self.offline_log):
+            if log is not None and (
+                log.metadata.get("dropped_queries") or log.metadata.get("partial")
+            ):
+                return True
+        return False
 
     def to_summary(self) -> dict:
         return {
@@ -60,6 +74,8 @@ class BenchmarkResult:
             "throughput_fps": round(self.throughput_fps, 2),
             "offline_fps": round(self.offline_fps, 2),
             "energy_per_query_mj": round(self.energy_per_query_mj, 3),
+            "degraded": self.degraded,
+            "error": self.error,
         }
 
 
@@ -78,7 +94,11 @@ class SuiteResult:
 
     @property
     def all_passed(self) -> bool:
-        return all(r.quality_passed for r in self.results)
+        return all(r.quality_passed and not r.degraded for r in self.results)
+
+    @property
+    def degraded_tasks(self) -> list[str]:
+        return [r.task for r in self.results if r.degraded]
 
 
 def format_report(suite: SuiteResult) -> str:
@@ -100,6 +120,10 @@ def format_report(suite: SuiteResult) -> str:
         lines.append(f"   config: {r.execution_config}")
         if r.offline_fps:
             lines.append(f"   offline throughput: {r.offline_fps:.1f} FPS")
+        if r.error:
+            lines.append(f"   ** DEGRADED: {r.error}")
+        elif r.degraded:
+            lines.append("   ** DEGRADED: run dropped queries or ended partial")
     lines.append("-" * 78)
     lines.append(f"suite quality: {'ALL PASSED' if suite.all_passed else 'FAILURES PRESENT'}")
     return "\n".join(lines)

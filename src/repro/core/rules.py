@@ -35,6 +35,10 @@ class RunRules:
     full_charge: bool = True
     # result validation: audit reproduction tolerance (§6.2)
     audit_tolerance: float = 0.05
+    # fault tolerance: bounded per-query retry, bounded drops before the run
+    # aborts as a flagged partial result
+    query_retry_budget: int = 3
+    query_drop_budget: int = 16
 
     def validate_conditions(self, ambient_c: float) -> None:
         if not self.ambient_min_c <= ambient_c <= self.ambient_max_c:
@@ -53,6 +57,8 @@ class RunRules:
             min_duration_s=self.min_duration_s,
             offline_sample_count=self.offline_sample_count,
             latency_percentile=self.latency_percentile,
+            query_retry_budget=self.query_retry_budget,
+            query_drop_budget=self.query_drop_budget,
         )
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..loadgen.scenarios import loadgen_checksum
-from ..loadgen.validation import validate_log
+from ..loadgen.validation import validate_serialized
 from .harness import BenchmarkHarness
 from .results import SuiteResult
 
@@ -55,6 +55,9 @@ def build_submission(
 
     provenance: dict[str, dict[str, str]] = {}
     for result in suite.results:
+        if result.error:
+            # a degraded task ships no artifacts; the checker flags it
+            continue
         art = harness.artifacts(result.task)
         deployed = harness.deployment_graph(result.task, Numerics(result.numerics))
         provenance[result.task] = {
@@ -94,6 +97,9 @@ def check_submission(submission: Submission) -> list[str]:
 
     for result in submission.suite.results:
         prefix = f"[{result.task}]"
+        if result.error:
+            problems.append(f"{prefix} task degraded, no valid result: {result.error}")
+            continue
         if result.accuracy_log is None or result.performance_log is None:
             problems.append(f"{prefix} missing unedited log files")
             continue
@@ -102,7 +108,10 @@ def check_submission(submission: Submission) -> list[str]:
                            (result.offline_log, "offline")):
             if log is None:
                 continue
-            for v in validate_log(log):
+            # validate the serialized form — exactly what a submission
+            # package contains — so summary edits and schema corruption are
+            # caught the same way the auditor would catch them
+            for v in validate_serialized(log.to_dict()):
                 problems.append(f"{prefix} {label} log: {v}")
         if not result.quality_passed:
             problems.append(

@@ -1,11 +1,12 @@
 """The Load Generator: scenarios, QSL, SUT glue, logs, validation (paper §4)."""
 
 from .clock import VirtualClock
-from .logging import LoadGenLog, QueryRecord
+from .faults import FaultySUT, QueryFailure, QueryFault, QueryTimeout
+from .logging import LOG_SCHEMA_VERSION, LoadGenLog, QueryRecord
 from .qsl import QuerySampleLibrary
 from .scenarios import LoadGenerator, Mode, Scenario, TestSettings, loadgen_checksum
 from .sut import AccuracySUT, OfflineResult, PerformanceSUT, SystemUnderTest
-from .validation import validate_log
+from .validation import validate_log, validate_serialized
 
 __all__ = [
     "VirtualClock",
@@ -14,12 +15,18 @@ __all__ = [
     "AccuracySUT",
     "PerformanceSUT",
     "OfflineResult",
+    "FaultySUT",
+    "QueryFault",
+    "QueryFailure",
+    "QueryTimeout",
     "LoadGenerator",
     "TestSettings",
     "Scenario",
     "Mode",
     "LoadGenLog",
     "QueryRecord",
+    "LOG_SCHEMA_VERSION",
     "validate_log",
+    "validate_serialized",
     "loadgen_checksum",
 ]

@@ -68,7 +68,10 @@ class QuerySampleLibrary:
         if self._pool is None:
             if not self._loaded:
                 raise RuntimeError("no samples loaded; call load_performance_set first")
-            self._pool = np.fromiter(self._loaded, dtype=np.int64)
+            # sorted, not set-iteration order: the seeded query sequence must
+            # be identical across processes regardless of the residency
+            # insertion/eviction history that built the set
+            self._pool = np.sort(np.fromiter(self._loaded, dtype=np.int64))
         return self._pool
 
     def sample_indices(self, n: int, from_loaded: bool = True) -> np.ndarray:

@@ -5,6 +5,13 @@ AND at least 60 seconds; the metric is 90th-percentile latency. Offline:
 one burst of 24,576 samples; the metric is average throughput. Submitters
 may not modify this module's behaviour (enforced by checksum in the
 submission checker).
+
+Fault tolerance: per-query faults (:class:`~repro.loadgen.faults.QueryFault`,
+NaN or non-positive latencies) are retried within a bounded per-query
+budget. A query that exhausts its retries is *dropped* and counted in the
+log's metadata; when drops exceed the run's drop budget the run stops early
+and is marked partial. Either way the run returns a log the validator will
+flag, instead of crashing the suite.
 """
 
 from __future__ import annotations
@@ -12,14 +19,16 @@ from __future__ import annotations
 import enum
 import hashlib
 import inspect
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from .clock import VirtualClock
+from .faults import QueryFault
 from .logging import LoadGenLog, QueryRecord
 from .qsl import QuerySampleLibrary
-from .sut import AccuracySUT, PerformanceSUT, SystemUnderTest
+from .sut import SystemUnderTest
 
 __all__ = ["Scenario", "Mode", "TestSettings", "LoadGenerator", "loadgen_checksum"]
 
@@ -50,6 +59,11 @@ class TestSettings:
     # results are per-sample and independent of the packing, so this is a
     # harness-throughput knob, not a run rule
     accuracy_batch_size: int = 32
+    # fault tolerance: how many times one query may be retried after a fault,
+    # and how many queries may be dropped (retries exhausted) before the run
+    # aborts as partial
+    query_retry_budget: int = 3
+    query_drop_budget: int = 16
 
     def __post_init__(self) -> None:
         if self.min_query_count < 1:
@@ -58,6 +72,10 @@ class TestSettings:
             raise ValueError("min_duration_s cannot be negative")
         if self.accuracy_batch_size < 1:
             raise ValueError("accuracy_batch_size must be positive")
+        if not 0.0 < self.latency_percentile <= 100.0:
+            raise ValueError("latency_percentile must be in (0, 100]")
+        if self.query_retry_budget < 0 or self.query_drop_budget < 0:
+            raise ValueError("retry/drop budgets cannot be negative")
 
 
 class LoadGenerator:
@@ -84,6 +102,7 @@ class LoadGenerator:
             seed=s.seed,
             min_query_count=s.min_query_count,
             min_duration_s=s.min_duration_s,
+            latency_percentile=s.latency_percentile,
         )
         if s.mode == Mode.ACCURACY:
             self._run_accuracy(sut, qsl, log)
@@ -94,22 +113,70 @@ class LoadGenerator:
         log.metadata["loadgen_checksum"] = loadgen_checksum()
         return log
 
+    # -- fault-tolerant query issue -----------------------------------------
+    def _issue_with_retries(
+        self, sut: SystemUnderTest, indices: np.ndarray, log: LoadGenLog
+    ) -> float | None:
+        """One query with a bounded retry budget.
+
+        Returns the latency of the first valid attempt, or ``None`` once the
+        budget is exhausted (the caller records a dropped query). Invalid
+        means a raised :class:`QueryFault` or a non-finite / non-positive
+        latency reading in performance mode.
+        """
+        s = self.settings
+        last_error = "unknown fault"
+        for _ in range(1 + s.query_retry_budget):
+            try:
+                latency = sut.issue_query(indices)
+            except QueryFault as exc:
+                last_error = str(exc)
+                log.metadata["fault_retries"] = log.metadata.get("fault_retries", 0) + 1
+                continue
+            if latency is None or not math.isfinite(latency) or (
+                s.mode == Mode.PERFORMANCE and latency <= 0
+            ):
+                last_error = f"invalid latency reading {latency!r}"
+                log.metadata["fault_retries"] = log.metadata.get("fault_retries", 0) + 1
+                continue
+            return float(latency)
+        log.metadata["dropped_queries"] = log.metadata.get("dropped_queries", 0) + 1
+        log.metadata["last_fault"] = last_error
+        return None
+
+    def _drop_budget_exhausted(self, log: LoadGenLog) -> bool:
+        if log.metadata.get("dropped_queries", 0) > self.settings.query_drop_budget:
+            log.metadata["partial"] = True
+            log.metadata["partial_reason"] = (
+                f"dropped {log.metadata['dropped_queries']} queries, over the "
+                f"budget of {self.settings.query_drop_budget}"
+            )
+            return True
+        return False
+
+    # -- scenarios -----------------------------------------------------------
     def _run_accuracy(self, sut: SystemUnderTest, qsl: QuerySampleLibrary, log: LoadGenLog) -> None:
         """Feed the *entire* data set to verify model quality (§4.1)."""
         n = qsl.total_sample_count
+        log.metadata["total_sample_count"] = n
         all_indices = np.arange(n)
         qsl.load_samples(all_indices)
         clock = VirtualClock()
         batch = self.settings.accuracy_batch_size
         for start in range(0, n, batch):
             idx = all_indices[start : start + batch]
-            latency = sut.issue_query(idx)
+            latency = self._issue_with_retries(sut, idx, log)
+            if latency is None:
+                if self._drop_budget_exhausted(log):
+                    break
+                continue
             log.records.append(
                 QueryRecord(clock.now(), latency, tuple(int(i) for i in idx))
             )
             clock.advance(max(latency, 1e-9))
-        if isinstance(sut, AccuracySUT):
-            log.accuracy = sut.evaluate()
+        evaluate = getattr(sut, "evaluate", None)
+        if callable(evaluate):
+            log.accuracy = evaluate()
 
     def _run_single_stream(
         self, sut: SystemUnderTest, qsl: QuerySampleLibrary, log: LoadGenLog
@@ -123,9 +190,11 @@ class LoadGenerator:
             # served from a pre-drawn index block: same seeded sequence as a
             # per-query sample_indices(1) draw, without per-query RNG overhead
             idx = qsl.next_sample_index()
-            latency = sut.issue_query(np.array([idx], dtype=np.int64))
-            if latency <= 0:
-                raise RuntimeError("performance SUT reported non-positive latency")
+            latency = self._issue_with_retries(sut, np.array([idx], dtype=np.int64), log)
+            if latency is None:
+                if self._drop_budget_exhausted(log):
+                    break
+                continue
             temp = getattr(getattr(sut, "device", None), "thermal", None)
             log.records.append(
                 QueryRecord(
@@ -140,9 +209,18 @@ class LoadGenerator:
         """Send all samples in one burst; measure aggregate throughput."""
         s = self.settings
         qsl.load_performance_set()
-        if not isinstance(sut, PerformanceSUT):
+        log.metadata["offline_expected_samples"] = s.offline_sample_count
+        run_offline = getattr(sut, "run_offline", None)
+        if run_offline is None:
             raise TypeError("offline performance mode requires a PerformanceSUT")
-        result = sut.run_offline(s.offline_sample_count)
+        try:
+            result = run_offline(s.offline_sample_count)
+        except QueryFault as exc:
+            # the burst is atomic: a fault degrades the run to a flagged
+            # partial result instead of crashing the suite
+            log.metadata["partial"] = True
+            log.metadata["partial_reason"] = f"offline burst failed: {exc}"
+            return
         log.offline_samples = result.total_samples
         log.offline_seconds = result.total_seconds
         log.energy_joules = result.energy_joules

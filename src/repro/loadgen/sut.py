@@ -95,6 +95,13 @@ class AccuracySUT(SystemUnderTest):
     def evaluate(self) -> dict[str, float]:
         return self.dataset.evaluate(self.predictions)
 
+    def close(self) -> None:
+        """Shut down the worker pool. Idempotent; the harness calls this
+        after every accuracy run so threads never outlive the test."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
 
 class PerformanceSUT(SystemUnderTest):
     """Latency/throughput from the hardware simulator; used by perf mode."""
