@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: the conformance/fault suites first (fast, and they guard
-# the run-rule correctness the whole benchmark's credibility rests on),
-# then the full test suite, then the executor smoke benchmark. The smoke
-# benchmark re-asserts plan-vs-legacy bit-exactness on INT8
+# Tier-1 CI gate: static analysis first (fastest, and it proves graph/plan
+# invariants before anything executes), then the conformance/fault suites
+# (they guard the run-rule correctness the whole benchmark's credibility
+# rests on), then the full test suite, then the executor smoke benchmark.
+# The smoke benchmark re-asserts plan-vs-legacy bit-exactness on INT8
 # MobileNetEdgeTPU and fails if the planned path loses its speedup.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export PYTHONPATH=src
+
+# repo self-lint: mutable default args, bare except, interpolated
+# percentiles on latency paths
+python tools/selflint.py src tests tools
+
+# static verifier: the whole model zoo x {fp32, fp16, int8, uint8} must come
+# back clean from all four analyzer families — no baseline file in CI
+python -m repro.staticcheck --fail-level warning
 
 python -m pytest -x -q tests/test_conformance.py tests/test_faults.py
 python -m pytest -x -q tests

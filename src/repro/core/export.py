@@ -92,6 +92,31 @@ def validate_package(directory: str | pathlib.Path) -> list[str]:
     for name in ("system.json", "provenance.json", "summary.json"):
         if not (root / name).exists():
             problems.append(f"package missing {name}")
+    prov_path = root / "provenance.json"
+    if prov_path.exists():
+        try:
+            prov = json.loads(prov_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            prov = None
+            problems.append(f"provenance.json: unreadable ({exc})")
+        if isinstance(prov, dict):
+            for task, entry in sorted((prov.get("models") or {}).items()):
+                if not isinstance(entry, dict):
+                    continue
+                # lenient: absent stamps (pre-verifier packages) are fine,
+                # but a recorded failure or a post-attestation edit is not
+                stamp = entry.get("staticcheck") or {}
+                if not stamp:
+                    continue
+                if not stamp.get("verified", False):
+                    problems.append(
+                        f"provenance.json: [{task}] deployed graph failed "
+                        f"static verification")
+                shipped = entry.get("deployed_checksum")
+                if shipped and stamp.get("checksum") not in (None, shipped):
+                    problems.append(
+                        f"provenance.json: [{task}] graph modified after "
+                        f"static-verification attestation")
     results_dir = root / "results"
     if not results_dir.is_dir():
         problems.append("package has no results/ directory")

@@ -70,6 +70,11 @@ def build_submission(
             # PTQ governance (§5.1): only the approved calibration set,
             # typically ~500 samples, no retraining
             "quantization": dict(deployed.metadata.get("quantization", {})),
+            # static-verification attestation stamped at export/quantization
+            # time, plus the graph checksum as shipped — the checker compares
+            # the two to prove the verified graph is the deployed graph
+            "staticcheck": dict(deployed.metadata.get("staticcheck", {})),
+            "deployed_checksum": deployed.checksum(),
         }
     return Submission(
         system=system,
@@ -129,6 +134,22 @@ def check_submission(submission: Submission) -> list[str]:
                 f"{prefix} deployed model does not descend from the frozen "
                 f"reference graph (source checksum mismatch)"
             )
+        if prov is not None:
+            # lenient by design: packages predating the static verifier carry
+            # no stamp and stay valid; a present stamp must be trustworthy
+            stamp = prov.get("staticcheck") or {}
+            if stamp:
+                if not stamp.get("verified", False):
+                    problems.append(
+                        f"{prefix} deployed graph failed static verification "
+                        f"({stamp.get('errors', '?')} error finding(s))"
+                    )
+                shipped = prov.get("deployed_checksum")
+                if shipped and stamp.get("checksum") not in (None, shipped):
+                    problems.append(
+                        f"{prefix} deployed graph was modified after its "
+                        f"static-verification attestation (checksum mismatch)"
+                    )
         if prov is not None:
             quant = prov.get("quantization", {})
             samples = quant.get("calibration_samples")

@@ -7,7 +7,7 @@ from .graph import Graph, GraphValidationError
 from .plan import ExecutionPlan, PlannedStep
 from .profiler import ExecutionProfiler, OpProfile
 from .summary import graph_summary
-from .ops import OpCost
+from .ops import OpCost, ShapeError
 from .tensor import TensorSpec
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "OpProfile",
     "TensorSpec",
     "OpCost",
+    "ShapeError",
     "export_mobile",
     "fold_batch_norms",
     "fuse_activations",

@@ -193,15 +193,40 @@ class Graph:
             raise GraphValidationError(f"graph {self.name!r} has no inputs")
         if not self.output_names:
             raise GraphValidationError(f"graph {self.name!r} has no outputs")
-        seen = {s.name for s in self.inputs}
+        input_names = {s.name for s in self.inputs}
+        seen = set(input_names)
+        op_names: set[str] = set()
+        produced: dict[str, str] = {}
         for op in self.ops:
+            if op.name in op_names:
+                raise GraphValidationError(
+                    f"graph {self.name!r}: op name {op.name!r} is defined more "
+                    f"than once (op names key plans, profiles and placements)")
+            op_names.add(op.name)
             for t in op.inputs:
                 if t not in seen:
                     raise GraphValidationError(f"op {op.name!r} runs before its input {t!r}")
+            for t in op.outputs:
+                if t in input_names or t in produced:
+                    prev = produced.get(t, "<graph input>")
+                    raise GraphValidationError(
+                        f"tensor {t!r} has two producers: {prev!r} and {op.name!r}")
+                produced[t] = op.name
             seen.update(op.outputs)
+        for n in self.output_names:
+            if n not in self.tensor_specs:
+                raise GraphValidationError(
+                    f"graph {self.name!r} declares output {n!r}, which names no "
+                    f"known tensor")
+        for p in self.params:
+            if p in input_names:
+                raise GraphValidationError(
+                    f"parameter {p!r} shadows the graph input of the same name")
         for name, arr in self.params.items():
             if arr is not None and tuple(arr.shape) != self.param_shapes[name]:
-                raise GraphValidationError(f"parameter {name!r} shape drifted")
+                raise GraphValidationError(
+                    f"parameter {name!r} shape drifted: array is "
+                    f"{tuple(arr.shape)}, declared {self.param_shapes[name]}")
         # every non-output intermediate should be consumed (no dead ends)
         consumed = {t for op in self.ops for t in op.inputs} | set(self.output_names)
         for op in self.ops:

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "OpCost",
+    "ShapeError",
     "Op",
     "Conv2D",
     "DepthwiseConv2D",
@@ -74,6 +75,19 @@ class OpCost:
             self.macs + other.macs,
             self.weight_bytes + other.weight_bytes,
             self.activation_bytes + other.activation_bytes,
+        )
+
+
+class ShapeError(ValueError):
+    """Shape inference failed; carries op name, op type and input shapes."""
+
+    def __init__(self, op: "Op", reason: str, in_shapes: Sequence[tuple[int, ...]]):
+        self.op_name = op.name
+        self.op_type = op.op_type
+        self.in_shapes = [tuple(s) for s in in_shapes]
+        super().__init__(
+            f"{self.op_type} op {op.name!r}: {reason} "
+            f"(input shapes: {self.in_shapes})"
         )
 
 
@@ -163,7 +177,8 @@ class Conv2D(Op):
         n, h, w, c = in_shapes[0]
         kh, kw, cin, cout = graph.param_shape(self.attrs["weight"])
         if cin != c:
-            raise ValueError(f"{self.name}: input channels {c} != weight {cin}")
+            raise ShapeError(
+                self, f"input has {c} channels but weight expects {cin}", in_shapes)
         oh, ow, _, _ = K.conv_output_shape(
             h, w, kh, kw, self.attrs["stride"], self.attrs["padding"],
             self.attrs.get("dilation", 1),
@@ -217,7 +232,11 @@ class DepthwiseConv2D(Conv2D):
         n, h, w, c = in_shapes[0]
         kh, kw, wc, mult = graph.param_shape(self.attrs["weight"])
         if wc != c or mult != 1:
-            raise ValueError(f"{self.name}: depthwise weight {graph.param_shape(self.attrs['weight'])} vs C={c}")
+            raise ShapeError(
+                self,
+                f"depthwise weight {graph.param_shape(self.attrs['weight'])} "
+                f"needs channel dim {c} and multiplier 1",
+                in_shapes)
         oh, ow, _, _ = K.conv_output_shape(h, w, kh, kw, self.attrs["stride"], self.attrs["padding"])
         return [(n, oh, ow, c)]
 
@@ -271,7 +290,8 @@ class FullyConnected(Op):
         fin, fout = graph.param_shape(self.attrs["weight"])
         shape = in_shapes[0]
         if shape[-1] != fin:
-            raise ValueError(f"{self.name}: feature dim {shape[-1]} != weight in {fin}")
+            raise ShapeError(
+                self, f"feature dim {shape[-1]} != weight input dim {fin}", in_shapes)
         return [shape[:-1] + (fout,)]
 
     def execute_float(self, inputs, graph):
@@ -354,8 +374,10 @@ class Add(Op):
     op_type = "add"
 
     def infer_shapes(self, in_shapes, graph):
+        if len(in_shapes) != 2:
+            raise ShapeError(self, f"needs exactly 2 inputs, got {len(in_shapes)}", in_shapes)
         if in_shapes[0][1:] != in_shapes[1][1:]:
-            raise ValueError(f"{self.name}: add shape mismatch {in_shapes}")
+            raise ShapeError(self, "operand shapes disagree beyond the batch dim", in_shapes)
         return [in_shapes[0]]
 
     def execute_float(self, inputs, graph):
@@ -368,6 +390,18 @@ class Concat(Op):
     def infer_shapes(self, in_shapes, graph):
         axis = self.attrs["axis"]
         base = list(in_shapes[0])
+        if not -len(base) <= axis < len(base):
+            raise ShapeError(self, f"axis {axis} out of range for rank {len(base)}", in_shapes)
+        for s in in_shapes[1:]:
+            if len(s) != len(base):
+                raise ShapeError(self, "inputs have different ranks", in_shapes)
+            mismatched = [
+                d for d in range(len(base))
+                if d != axis % len(base) and s[d] != base[d]
+            ]
+            if mismatched:
+                raise ShapeError(
+                    self, f"inputs disagree on non-concat dim(s) {mismatched}", in_shapes)
         base[axis] = sum(s[axis] for s in in_shapes)
         return [tuple(base)]
 
@@ -422,7 +456,10 @@ class Reshape(Op):
         target = self.attrs["shape"]  # per-sample shape
         in_elems = _shape_elems(in_shapes[0][1:])
         if _shape_elems(target) != in_elems:
-            raise ValueError(f"{self.name}: cannot reshape {in_shapes[0]} to (batch, *{target})")
+            raise ShapeError(
+                self,
+                f"cannot reshape {in_elems} elements/sample to (batch, *{tuple(target)})",
+                in_shapes)
         return [(in_shapes[0][0],) + tuple(target)]
 
     def execute_float(self, inputs, graph):
@@ -536,7 +573,8 @@ class Split(Op):
         parts = self.attrs["parts"]
         last = in_shapes[0][-1]
         if last % parts:
-            raise ValueError(f"{self.name}: cannot split {last} into {parts} parts")
+            raise ShapeError(
+                self, f"last dim {last} not divisible into {parts} parts", in_shapes)
         return [in_shapes[0][:-1] + (last // parts,)] * parts
 
     def execute_float(self, inputs, graph):
@@ -589,7 +627,8 @@ class DepthToSpace(Op):
         n, h, w, c = in_shapes[0]
         block = self.attrs["block"]
         if c % (block * block):
-            raise ValueError(f"{self.name}: channels {c} not divisible by {block}^2")
+            raise ShapeError(
+                self, f"channels {c} not divisible by block^2 = {block * block}", in_shapes)
         return [(n, h * block, w * block, c // (block * block))]
 
     def execute_float(self, inputs, graph):

@@ -194,6 +194,11 @@ def quantize_graph(
         "calibration_samples": calibration.num_samples,
     }
     g.freeze()
+    # re-attest: quantization changed params/specs, so the export-time stamp
+    # no longer matches the checksum (deferred import avoids a module cycle)
+    from ..staticcheck.verifier import attest
+
+    attest(g)
     return g
 
 
@@ -212,4 +217,7 @@ def convert_fp16(graph: Graph) -> Graph:
             spec.numerics = Numerics.FP16
     g.metadata["quantization"] = {"numerics": "fp16"}
     g.freeze()
+    from ..staticcheck.verifier import attest
+
+    attest(g)
     return g

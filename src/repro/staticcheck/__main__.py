@@ -1,0 +1,114 @@
+"""CLI: sweep the model zoo (or selected models) through the static verifier.
+
+Examples::
+
+    python -m repro.staticcheck                       # full zoo, all numerics
+    python -m repro.staticcheck mobilebert --numerics int8,uint8
+    python -m repro.staticcheck --format json > staticcheck.json
+    python -m repro.staticcheck --write-baseline known.json
+    python -m repro.staticcheck --baseline known.json # suppress known findings
+
+Exit status is 0 only when every swept deployment is clean (after baseline
+suppression) at or above ``--fail-level`` — the contract ``ci.sh`` gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..kernels.numerics import Numerics
+from ..models import available_models
+from .findings import RULESET_VERSION, Baseline, Severity
+from .verifier import ALL_FAMILIES, sweep_zoo
+
+_NUMERICS = {n.value: n for n in
+             (Numerics.FP32, Numerics.FP16, Numerics.INT8, Numerics.UINT8)}
+
+
+def _csv(choices: dict | tuple, label: str):
+    valid = tuple(choices)
+
+    def parse(text: str):
+        items = tuple(t.strip().lower() for t in text.split(",") if t.strip())
+        bad = [t for t in items if t not in valid]
+        if bad:
+            raise argparse.ArgumentTypeError(
+                f"unknown {label} {bad}; choose from {', '.join(valid)}")
+        return items
+
+    return parse
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Statically verify model-zoo graphs: dataflow, "
+                    "quantization soundness, backend placement, plan liveness.",
+    )
+    parser.add_argument("models", nargs="*", metavar="MODEL",
+                        help="zoo models to sweep (default: all)")
+    parser.add_argument("--numerics", type=_csv(_NUMERICS, "numerics"),
+                        default=tuple(_NUMERICS),
+                        help="comma-separated formats (default: %(default)s)")
+    parser.add_argument("--families", type=_csv(ALL_FAMILIES, "family"),
+                        default=ALL_FAMILIES,
+                        help="analyzer families to run (default: all four)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="JSON suppression file of accepted findings")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write current findings to PATH as a baseline and exit 0")
+    parser.add_argument("--fail-level", choices=("info", "warning", "error"),
+                        default="warning",
+                        help="lowest severity that fails the run (default: warning)")
+    args = parser.parse_args(argv)
+
+    known = available_models()
+    unknown = [m for m in args.models if m not in known]
+    if unknown:
+        parser.error(f"unknown model(s) {unknown}; available: {', '.join(known)}")
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    reports = sweep_zoo(
+        tuple(args.models) or None,
+        tuple(_NUMERICS[n] for n in args.numerics),
+        families=tuple(args.families),
+        baseline=baseline,
+    )
+
+    if args.write_baseline:
+        merged = Baseline.from_findings(
+            [f for r in reports for f in r.findings])
+        merged.save(args.write_baseline)
+        print(f"wrote {len(merged.entries)} suppression(s) to {args.write_baseline}")
+        return 0
+
+    gate = Severity.parse(args.fail_level)
+    failing = sum(len(r.at_least(gate)) for r in reports)
+    total = sum(len(r.findings) for r in reports)
+    suppressed = sum(len(r.suppressed) for r in reports)
+
+    if args.format == "json":
+        json.dump({
+            "ruleset": RULESET_VERSION,
+            "families": list(args.families),
+            "reports": [r.to_dict() for r in reports],
+            "total_findings": total,
+            "suppressed": suppressed,
+            "exit_code": 1 if failing else 0,
+        }, sys.stdout, indent=2)
+        print()
+    else:
+        for report in reports:
+            print(report.render_text())
+        verdict = "CLEAN" if not failing else f"{failing} gating finding(s)"
+        print(f"\n{len(reports)} deployment(s) checked "
+              f"[{', '.join(args.families)}]: {verdict}"
+              + (f" ({suppressed} suppressed)" if suppressed else ""))
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Typed dataflow verifier (rules DF001–DF011).
+
+Runs a *second*, independent whole-graph shape inference over the op list —
+its own per-op-type arithmetic, deliberately not calling
+``op.infer_shapes`` — and double-enters the result against the shapes the
+builder recorded. A disagreement means either the builder's inference or
+this verifier is wrong; both reading the same answer is the static analogue
+of double-entry bookkeeping. On top of that it checks pure connectivity
+invariants: dangling tensors, dead ops, unused params, duplicate producers
+and unreachable outputs.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..graph.ops import Op
+from .findings import Finding
+
+__all__ = ["check_dataflow", "independent_shapes"]
+
+_DATA_ROLES = ("data",)  # ids/mask tensors keep their own numerics by design
+
+
+# -- independent shape rules --------------------------------------------------
+#
+# Each rule maps (op, input shapes, graph) -> output shapes using only op
+# attrs and parameter shapes. Batch dims are symbolic (-1) and preserved.
+
+
+def _conv_spatial(h: int, w: int, kh: int, kw: int, stride: int, padding: str,
+                  dilation: int = 1) -> tuple[int, int]:
+    ekh = (kh - 1) * dilation + 1
+    ekw = (kw - 1) * dilation + 1
+    if padding == "same":
+        return (h + stride - 1) // stride, (w + stride - 1) // stride
+    if padding == "valid":
+        return (h - ekh) // stride + 1, (w - ekw) // stride + 1
+    raise ValueError(f"unknown padding mode {padding!r}")
+
+
+def _rule_conv2d(op, ins, g):
+    n, h, w, _ = ins[0]
+    kh, kw, _, cout = g.param_shape(op.attrs["weight"])
+    oh, ow = _conv_spatial(h, w, kh, kw, op.attrs["stride"], op.attrs["padding"],
+                           op.attrs.get("dilation", 1))
+    return [(n, oh, ow, cout)]
+
+
+def _rule_depthwise(op, ins, g):
+    n, h, w, c = ins[0]
+    kh, kw, _, _ = g.param_shape(op.attrs["weight"])
+    oh, ow = _conv_spatial(h, w, kh, kw, op.attrs["stride"], op.attrs["padding"])
+    return [(n, oh, ow, c)]
+
+
+def _rule_fc(op, ins, g):
+    _, fout = g.param_shape(op.attrs["weight"])
+    return [ins[0][:-1] + (fout,)]
+
+
+def _rule_pool(op, ins, g):
+    n, h, w, c = ins[0]
+    k = op.attrs["k"]
+    oh, ow = _conv_spatial(h, w, k, k, op.attrs["stride"], op.attrs["padding"])
+    return [(n, oh, ow, c)]
+
+
+def _rule_global_pool(op, ins, g):
+    n, _, _, c = ins[0]
+    return [(n, 1, 1, c)] if op.attrs.get("keepdims", True) else [(n, c)]
+
+
+def _rule_resize(op, ins, g):
+    n, _, _, c = ins[0]
+    return [(n, op.attrs["out_h"], op.attrs["out_w"], c)]
+
+
+def _rule_elementwise(op, ins, g):
+    return [ins[0]]
+
+
+def _rule_concat(op, ins, g):
+    axis = op.attrs["axis"]
+    out = list(ins[0])
+    out[axis] = sum(s[axis] for s in ins)
+    return [tuple(out)]
+
+
+def _rule_reshape(op, ins, g):
+    return [(ins[0][0],) + tuple(op.attrs["shape"])]
+
+
+def _rule_attention(op, ins, g):
+    return [ins[0]]
+
+
+def _rule_embedding(op, ins, g):
+    n, s = ins[0]
+    _, d = g.param_shape(op.attrs["table"])
+    return [(n, s, d)]
+
+
+def _rule_split(op, ins, g):
+    parts = op.attrs["parts"]
+    return [ins[0][:-1] + (ins[0][-1] // parts,)] * parts
+
+
+def _rule_lstm(op, ins, g):
+    n, t, _ = ins[0]
+    hidden = g.param_shape(op.attrs["w_hh"])[0]
+    return [(n, t, hidden)]
+
+
+def _rule_depth_to_space(op, ins, g):
+    n, h, w, c = ins[0]
+    b = op.attrs["block"]
+    return [(n, h * b, w * b, c // (b * b))]
+
+
+_SHAPE_RULES = {
+    "conv2d": _rule_conv2d,
+    "depthwise_conv2d": _rule_depthwise,
+    "fully_connected": _rule_fc,
+    "avg_pool2d": _rule_pool,
+    "max_pool2d": _rule_pool,
+    "global_avg_pool": _rule_global_pool,
+    "resize_bilinear": _rule_resize,
+    "add": _rule_elementwise,
+    "activation": _rule_elementwise,
+    "softmax": _rule_elementwise,
+    "batch_norm": _rule_elementwise,
+    "layer_norm": _rule_elementwise,
+    "concat": _rule_concat,
+    "reshape": _rule_reshape,
+    "attention": _rule_attention,
+    "embedding": _rule_embedding,
+    "split": _rule_split,
+    "lstm": _rule_lstm,
+    "depth_to_space": _rule_depth_to_space,
+}
+
+
+def independent_shapes(graph: Graph) -> tuple[dict[str, tuple[int, ...]], list[Op]]:
+    """Re-infer every tensor shape from the inputs forward.
+
+    Returns ``(shapes, unverifiable)`` where ``unverifiable`` lists ops with
+    no independent rule (their outputs — and anything downstream of them —
+    are left out of the double-entry comparison).
+    """
+    shapes: dict[str, tuple[int, ...]] = {s.name: tuple(s.shape) for s in graph.inputs}
+    unverifiable: list[Op] = []
+    for op in graph.ops:
+        rule = _SHAPE_RULES.get(op.op_type)
+        if rule is None or any(t not in shapes for t in op.inputs):
+            unverifiable.append(op)
+            continue
+        try:
+            outs = rule(op, [shapes[t] for t in op.inputs], graph)
+        except Exception:
+            unverifiable.append(op)
+            continue
+        for t, shape in zip(op.outputs, outs):
+            shapes[t] = tuple(int(d) for d in shape)
+    return shapes, unverifiable
+
+
+def check_dataflow(graph: Graph) -> list[Finding]:
+    """Rules DF001–DF011 over one graph (materialized or symbolic)."""
+    out: list[Finding] = []
+    gname = graph.name
+    input_names = {s.name for s in graph.inputs}
+    outputs = set(graph.output_names)
+
+    # DF008 duplicate op names / DF004 duplicate producers / DF009 missing params
+    seen_ops: set[str] = set()
+    producers: dict[str, str] = {}
+    for op in graph.ops:
+        if op.name in seen_ops:
+            out.append(Finding("DF008", gname, op=op.name,
+                               message=f"op name {op.name!r} defined more than once"))
+        seen_ops.add(op.name)
+        for t in op.outputs:
+            if t in producers or t in input_names:
+                prev = producers.get(t, "<graph input>")
+                out.append(Finding(
+                    "DF004", gname, op=op.name, tensor=t,
+                    message=f"tensor {t!r} produced by both {prev!r} and {op.name!r}"))
+            producers[t] = op.name
+        for p in op.param_names():
+            if p not in graph.params:
+                out.append(Finding(
+                    "DF009", gname, op=op.name,
+                    message=f"op {op.name!r} ({op.op_type}) references missing "
+                            f"parameter {p!r}"))
+
+    # DF010 parameter shadows input
+    for p in graph.params:
+        if p in input_names:
+            out.append(Finding(
+                "DF010", gname, tensor=p,
+                message=f"parameter {p!r} shadows the graph input of the same name"))
+
+    # DF005 unreachable outputs
+    for name in graph.output_names:
+        if name not in producers and name not in input_names:
+            out.append(Finding(
+                "DF005", gname, tensor=name,
+                message=f"declared output {name!r} is never produced"))
+
+    # DF001 dangling tensors (produced, never consumed, not an output)
+    consumed = {t for op in graph.ops for t in op.inputs}
+    for op in graph.ops:
+        for t in op.outputs:
+            if t not in consumed and t not in outputs:
+                out.append(Finding(
+                    "DF001", gname, op=op.name, tensor=t,
+                    message=f"tensor {t!r} (produced by {op.name!r}) is never "
+                            f"consumed and is not a graph output"))
+
+    # DF002 dead ops: backward reachability from the outputs
+    live_tensors = set(graph.output_names)
+    for op in reversed(graph.ops):
+        if any(t in live_tensors for t in op.outputs):
+            live_tensors.update(op.inputs)
+    for op in graph.ops:
+        if not any(t in live_tensors for t in op.outputs):
+            out.append(Finding(
+                "DF002", gname, op=op.name,
+                message=f"op {op.name!r} ({op.op_type}) contributes to no graph output"))
+
+    # DF003 unused parameters
+    used_params = {p for op in graph.ops for p in op.param_names()}
+    for p in graph.params:
+        if p not in used_params:
+            out.append(Finding(
+                "DF003", gname, tensor=p,
+                message=f"parameter {p!r} is referenced by no op"))
+
+    # DF006 double-entry shape inference / DF011 coverage
+    shapes, unverifiable = independent_shapes(graph)
+    for op in unverifiable:
+        if op.op_type not in _SHAPE_RULES:
+            out.append(Finding(
+                "DF011", gname, op=op.name,
+                message=f"op {op.name!r} has type {op.op_type!r} with no "
+                        f"independent shape rule; its shapes are unverified"))
+    for name, shape in shapes.items():
+        spec = graph.tensor_specs.get(name)
+        if spec is None:
+            continue  # already reported via connectivity rules
+        if tuple(spec.shape) != shape:
+            out.append(Finding(
+                "DF006", gname, tensor=name, op=producers.get(name),
+                message=f"recorded shape {tuple(spec.shape)} of {name!r} "
+                        f"disagrees with independent inference {shape}",
+                details={"recorded": list(spec.shape), "inferred": list(shape)}))
+
+    # DF007 numerics tags
+    for name, spec in graph.tensor_specs.items():
+        if spec.role in _DATA_ROLES and spec.numerics != graph.numerics:
+            out.append(Finding(
+                "DF007", gname, tensor=name,
+                message=f"tensor {name!r} tagged {spec.numerics.value} inside a "
+                        f"{graph.numerics.value} graph"))
+    return out

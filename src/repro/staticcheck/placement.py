@@ -1,0 +1,279 @@
+"""Backend placement predictor (rules BP001–BP004).
+
+Re-derives, from the op list alone, how each vendor runtime would partition
+a graph across an SoC's engines — which ops fall back to the CPU, how many
+contiguous segments result, and what the boundary synchronization costs.
+This is the Table-3 delegate-gap story turned into a lint: the decision
+procedure here is written independently of :func:`repro.hardware.scheduler
+.partition_graph` (same op-support ground truth, separately implemented
+placement logic) and a test cross-checks the two op-by-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..backends.vendors import BACKEND_FACTORIES
+from ..graph.graph import Graph
+from ..hardware.accelerator import OP_SUPPORT, AcceleratorSpec
+from ..hardware.scheduler import FrameworkProfile
+from ..hardware.soc import SOC_CATALOG, SoCSpec
+from ..kernels.numerics import Numerics
+from .findings import Finding
+
+__all__ = [
+    "PlacementPrediction",
+    "predict_op_targets",
+    "predict_placement",
+    "check_placement",
+    "sweep_vendor_placements",
+]
+
+# engines with fixed-function compilers: driver op exclusions and dilated
+# convolutions keep work off these even when the raw hardware could manage
+_FIXED_FUNCTION = frozenset({"npu", "apu", "dsp", "hta", "hvx", "ane"})
+
+# more segments than this on one graph means the placement is shredded into
+# confetti and boundary sync will dominate (paper Insight 4); the zoo's worst
+# honest case (ENN v0.7 concat exclusion on DeepLab) stays well under it
+_MAX_SEGMENTS = 24
+
+# the primary engine should keep the bulk of the arithmetic
+_MIN_PRIMARY_MAC_FRACTION = 0.5
+
+
+@dataclass
+class PlacementPrediction:
+    """Statically predicted partition of one graph under one runtime."""
+
+    backend: str
+    soc: str
+    task: str
+    numerics: Numerics
+    primary: str
+    op_targets: list[tuple[str, str]]  # (op name, accelerator name)
+    segments: list[tuple[str, list[str]]]  # (accelerator name, op names)
+    fallback_ops: list[str] = field(default_factory=list)  # ops not on primary
+    fallback_op_types: list[str] = field(default_factory=list)
+    primary_mac_fraction: float = 1.0
+    boundary_sync_ms: float = 0.0
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_boundaries(self) -> int:
+        return max(len(self.segments) - 1, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "soc": self.soc,
+            "task": self.task,
+            "numerics": self.numerics.value,
+            "primary": self.primary,
+            "partition_count": self.partition_count,
+            "segments": [{"accelerator": acc, "ops": ops} for acc, ops in self.segments],
+            "fallback_ops": list(self.fallback_ops),
+            "fallback_op_types": list(self.fallback_op_types),
+            "primary_mac_fraction": round(self.primary_mac_fraction, 4),
+            "boundary_sync_ms": round(self.boundary_sync_ms, 4),
+        }
+
+
+def _eligible(op, acc: AcceleratorSpec, excluded: frozenset[str]) -> bool:
+    """Can this engine's compiler take this op? (independent re-derivation)"""
+    if op.op_type not in OP_SUPPORT[acc.kind]:
+        return False
+    if acc.kind in _FIXED_FUNCTION:
+        if op.op_type in excluded:
+            return False
+        if op.attrs.get("dilation", 1) > 1:
+            return False
+    return True
+
+
+def predict_op_targets(
+    graph: Graph,
+    primary: AcceleratorSpec,
+    fallback: AcceleratorSpec,
+    numerics: Numerics,
+    secondary: AcceleratorSpec | None = None,
+    excluded_ops: frozenset[str] = frozenset(),
+) -> list[tuple[str, AcceleratorSpec]]:
+    """Predict the engine every op lands on, in execution order.
+
+    Placement policy, re-derived from first principles: an op goes to the
+    primary engine when the engine both runs the model's numeric format
+    natively (no silent FP32→FP16 down-conversion) and compiles the op;
+    otherwise to the secondary (which may up-convert to FP16); otherwise to
+    the CPU fallback.
+    """
+    primary_usable = numerics in primary.effective_tops
+    secondary_usable = secondary is not None and (
+        numerics in secondary.effective_tops
+        or Numerics.FP16 in secondary.effective_tops
+    )
+    targets: list[tuple[str, AcceleratorSpec]] = []
+    for op in graph.ops:
+        if primary_usable and _eligible(op, primary, excluded_ops):
+            acc = primary
+        elif secondary_usable and _eligible(op, secondary, excluded_ops):
+            acc = secondary
+        else:
+            acc = fallback
+        targets.append((op.name, acc))
+    return targets
+
+
+def predict_placement(
+    graph: Graph,
+    *,
+    backend: str,
+    task: str,
+    numerics: Numerics,
+    soc: SoCSpec,
+    primary: AcceleratorSpec,
+    fallback: AcceleratorSpec,
+    secondary: AcceleratorSpec | None = None,
+    framework: FrameworkProfile | None = None,
+) -> PlacementPrediction:
+    """Full static placement: targets, segments, MAC split, boundary cost."""
+    targets = predict_op_targets(
+        graph, primary, fallback, numerics, secondary,
+        framework.unsupported_ops if framework else frozenset())
+    target_of = dict(targets)
+
+    segments: list[tuple[str, list[str]]] = []
+    for name, acc in targets:
+        if not segments or segments[-1][0] != acc.name:
+            segments.append((acc.name, []))
+        segments[-1][1].append(name)
+
+    costs = list(graph.op_costs(numerics))
+    total_macs = sum(cost.macs for _op, cost in costs)
+    primary_macs = sum(cost.macs for op, cost in costs
+                       if target_of[op.name].name == primary.name)
+
+    # boundary cost: every hop pays the runtime's HAL sync; hops between two
+    # non-CPU engines add the SoC IP-block sync plus the interconnect transfer
+    # of the activations entering the new segment
+    per_boundary = framework.per_boundary_ms if framework else 0.0
+    sync_ms = 0.0
+    prev: AcceleratorSpec | None = None
+    for op, _cost in costs:
+        acc = target_of[op.name]
+        if prev is not None and acc.name != prev.name:
+            sync_ms += per_boundary
+            if prev.kind != "cpu" and acc.kind != "cpu":
+                sync_ms += soc.segment_sync_ms
+                in_bytes = sum(
+                    graph.spec(t).elements_per_sample * numerics.bytes_per_element
+                    for t in op.inputs
+                )
+                sync_ms += in_bytes / (soc.interconnect_gbps * 1e9) * 1e3
+        prev = acc
+
+    fallback_ops = [name for name, acc in targets if acc.name != primary.name]
+    fallback_types = sorted({
+        op.op_type for op in graph.ops if op.name in set(fallback_ops)
+    })
+    return PlacementPrediction(
+        backend=backend, soc=soc.name, task=task, numerics=numerics,
+        primary=primary.name,
+        op_targets=[(name, acc.name) for name, acc in targets],
+        segments=segments,
+        fallback_ops=fallback_ops,
+        fallback_op_types=fallback_types,
+        primary_mac_fraction=(primary_macs / total_macs) if total_macs else 1.0,
+        boundary_sync_ms=sync_ms,
+    )
+
+
+def check_placement(graph: Graph, prediction: PlacementPrediction,
+                    soc: SoCSpec) -> list[Finding]:
+    """Rules BP001–BP004 for one (graph, backend, SoC) placement."""
+    out: list[Finding] = []
+    gname = graph.name
+    ctx = f"[{prediction.backend}@{prediction.soc}]"
+
+    # the CPU fallback takes any op the framework implements (partitioning
+    # never rejects the fallback target), so only op types no engine class
+    # has ever heard of — or batch norms the scheduler refuses — are fatal
+    known_op_types = set().union(*OP_SUPPORT.values())
+    for op in graph.ops:
+        if op.op_type == "batch_norm":
+            out.append(Finding(
+                "BP001", gname, op=op.name,
+                message=f"{ctx} op {op.name!r} is an unfolded batch_norm; the "
+                        f"scheduler refuses unexported graphs"))
+        elif op.op_type not in known_op_types:
+            out.append(Finding(
+                "BP001", gname, op=op.name,
+                message=f"{ctx} op {op.name!r} has unknown type {op.op_type!r}; "
+                        f"no engine class implements it"))
+
+    primary_acc = soc.accelerator(prediction.primary)
+    if prediction.numerics not in primary_acc.effective_tops:
+        out.append(Finding(
+            "BP002", gname,
+            message=f"{ctx} primary engine {prediction.primary!r} does not run "
+                    f"{prediction.numerics.value}; the whole graph silently "
+                    f"falls back"))
+
+    if prediction.partition_count > _MAX_SEGMENTS:
+        out.append(Finding(
+            "BP003", gname,
+            message=f"{ctx} graph fragments into {prediction.partition_count} "
+                    f"segments (budget {_MAX_SEGMENTS}); boundary sync "
+                    f"~{prediction.boundary_sync_ms:.2f} ms will dominate",
+            details={"partition_count": prediction.partition_count,
+                     "budget": _MAX_SEGMENTS}))
+
+    if (primary_acc.kind != "cpu"
+            and prediction.primary_mac_fraction < _MIN_PRIMARY_MAC_FRACTION):
+        out.append(Finding(
+            "BP004", gname,
+            message=f"{ctx} primary engine {prediction.primary!r} keeps only "
+                    f"{prediction.primary_mac_fraction:.0%} of the MACs; "
+                    f"fallback ops dominate compute "
+                    f"(types: {', '.join(prediction.fallback_op_types)})",
+            details={"primary_mac_fraction": prediction.primary_mac_fraction}))
+    return out
+
+
+def sweep_vendor_placements(
+    graph: Graph, numerics: Numerics
+) -> tuple[list[Finding], list[PlacementPrediction]]:
+    """Predict this graph's placement under every applicable vendor profile.
+
+    A profile applies when the backend supports the graph's task *and* runs
+    it in the graph's numeric format (each numerics variant of a model is
+    linted against the runtimes that would actually ship it).
+    """
+    task = str(graph.metadata.get("task", "unknown"))
+    findings: list[Finding] = []
+    predictions: list[PlacementPrediction] = []
+    for backend_name, factory in sorted(BACKEND_FACTORIES.items()):
+        for soc_name, soc in sorted(SOC_CATALOG.items()):
+            config = factory(soc)
+            if config.vendor is not None and config.vendor != soc.vendor:
+                continue
+            if config.vendor is None and soc.name != "snapdragon_888":
+                continue  # vendor-neutral CPU backends: one SoC is representative
+            cfg = config.tasks.get(task)
+            if cfg is None or cfg.numerics != numerics:
+                continue
+            framework = cfg.framework or config.framework
+            prediction = predict_placement(
+                graph,
+                backend=backend_name, task=task, numerics=numerics, soc=soc,
+                primary=soc.accelerator(cfg.primary),
+                fallback=soc.accelerator("cpu"),
+                secondary=soc.accelerator(cfg.secondary) if cfg.secondary else None,
+                framework=framework,
+            )
+            findings.extend(check_placement(graph, prediction, soc))
+            predictions.append(prediction)
+    return findings, predictions

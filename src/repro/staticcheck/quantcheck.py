@@ -1,0 +1,236 @@
+"""Quantization soundness analyzer (rules QS001–QS007).
+
+Static value-range analysis over INT8/UINT8 graphs. The central proof is
+QS001: for every integer-kernel op (conv / depthwise / fully-connected) the
+worst-case accumulator magnitude is bounded *statically* — quantized
+activations are confined to their format's ``[qmin, qmax]`` by construction,
+so the reduction
+
+    acc = sum_K (x_q - zx) * (w_q - zw) + bias
+
+is bounded by ``max|x_q - zx| * sum_K |w_q - zw| + |bias|`` using the actual
+quantized weights (and by the format-worst-case when the graph is symbolic).
+The bound must clear int32 — the accumulator width every mobile NPU/DSP
+commits to — including the zero-point-corrected decomposition real kernels
+compute (raw dot product plus correction terms), whose partial sums can
+exceed the mathematical accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.ops import Activation, Add, Concat, Conv2D, DepthwiseConv2D, FullyConnected
+from ..kernels.numerics import QuantParams
+from .findings import Finding
+
+__all__ = ["check_quantization", "accumulator_bound"]
+
+_INT32_MAX = 2**31 - 1
+_SKIP_ROLES = {"ids", "mask"}
+
+# scales outside this window mean a degenerate calibration or a corrupted
+# qparam, not a real activation distribution
+_SCALE_LO, _SCALE_HI = 1e-12, 1e6
+
+# an add operand whose scale is this many times coarser than its partner's
+# collapses the finer operand to a handful of codes after requantization
+_ADD_SCALE_RATIO = 64.0
+
+
+def _real_range(qp: QuantParams) -> tuple[float, float]:
+    """The representable real-value interval of a quantized domain."""
+    qmin, qmax = qp.numerics.qmin, qp.numerics.qmax
+    scale = float(np.max(qp.scale))
+    zp = qp.zero_point.astype(np.float64)
+    lo = float(np.min((qmin - zp) * qp.scale))
+    hi = float(np.max((qmax - zp) * qp.scale))
+    return min(lo, hi), max(lo, hi)
+
+
+def _reduction_size(op, graph: Graph) -> int:
+    w_shape = graph.param_shape(op.attrs["weight"])
+    if isinstance(op, DepthwiseConv2D):
+        kh, kw, _, _ = w_shape
+        return kh * kw
+    if isinstance(op, Conv2D):
+        kh, kw, cin, _ = w_shape
+        return kh * kw * cin
+    return w_shape[0]  # fully connected: (in, out)
+
+
+def accumulator_bound(op, graph: Graph) -> int:
+    """Worst-case |int32 accumulator| for one integer-kernel op.
+
+    Uses the actual quantized weights when materialized (interval arithmetic
+    over the real reduction), the format worst case when symbolic. The bound
+    covers both the mathematical accumulator and the zero-point-corrected
+    decomposition (raw dot + zx*colsum correction) that real integer kernels
+    evaluate, whose intermediate terms can be larger.
+    """
+    x_qp = graph.spec(op.inputs[0]).qparams
+    w_qp = graph.param_qparams.get(op.attrs["weight"])
+    x_num = x_qp.numerics if x_qp is not None else graph.numerics
+    x_lo, x_hi = x_num.qmin, x_num.qmax
+    zx = int(x_qp.zero_point[0]) if x_qp is not None else 0
+    x_dev = max(abs(x_hi - zx), abs(zx - x_lo))  # max |x_q - zx|
+    x_raw = max(abs(x_lo), abs(x_hi))            # max |x_q|
+
+    k = _reduction_size(op, graph)
+    wq = graph.params.get(op.attrs["weight"])
+    if wq is not None and w_qp is not None:
+        w = wq.astype(np.int64)
+        zw = w_qp.zero_point
+        if isinstance(op, DepthwiseConv2D):
+            # reduction is over (kh, kw) per channel; zw broadcasts on axis 2
+            centered = np.abs(w - zw.reshape(1, 1, -1, 1)) if w_qp.per_channel \
+                else np.abs(w - int(zw[0]))
+            w_centered_sum = int(centered.sum(axis=(0, 1, 3)).max())
+            w_raw_sum = int(np.abs(w).sum(axis=(0, 1, 3)).max())
+            raw_colsum = int(np.abs(w.sum(axis=(0, 1, 3))).max())
+        else:
+            axis = 3 if isinstance(op, Conv2D) else 1
+            flat = w.reshape(-1, w.shape[axis]) if axis == w.ndim - 1 else w
+            zw_row = zw.reshape(1, -1) if w_qp.per_channel else int(zw[0])
+            w_centered_sum = int(np.abs(flat - zw_row).sum(axis=0).max())
+            w_raw_sum = int(np.abs(flat).sum(axis=0).max())
+            raw_colsum = int(np.abs(flat.sum(axis=0)).max())
+    else:
+        w_num = w_qp.numerics if w_qp is not None else graph.numerics
+        w_abs = max(abs(w_num.qmin), abs(w_num.qmax))
+        w_centered_sum = w_raw_sum = k * w_abs
+        raw_colsum = k * w_abs
+
+    bias_abs = 0
+    b_name = op.attrs.get("bias")
+    if b_name and graph.params.get(b_name) is not None:
+        bias_abs = int(np.abs(graph.params[b_name].astype(np.int64)).max())
+
+    mathematical = x_dev * w_centered_sum + bias_abs
+    # kernel decomposition: raw dot x_q.w_q, then -zx*colsum(w) correction
+    decomposition = x_raw * w_raw_sum + abs(zx) * raw_colsum + bias_abs
+    return max(mathematical, decomposition)
+
+
+def _check_qparams(qp: QuantParams, gname: str, where: str, *, op=None,
+                   tensor=None) -> list[Finding]:
+    out: list[Finding] = []
+    scales = np.asarray(qp.scale, dtype=np.float64)
+    if not np.all(np.isfinite(scales)) or scales.min() < _SCALE_LO or scales.max() > _SCALE_HI:
+        out.append(Finding(
+            "QS002", gname, op=op, tensor=tensor,
+            message=f"{where}: scale {scales.min():.3e}..{scales.max():.3e} is "
+                    f"degenerate (outside [{_SCALE_LO:g}, {_SCALE_HI:g}])"))
+    zp = qp.zero_point
+    qmin, qmax = qp.numerics.qmin, qp.numerics.qmax
+    if zp.min() < qmin or zp.max() > qmax:
+        out.append(Finding(
+            "QS003", gname, op=op, tensor=tensor,
+            message=f"{where}: zero point {int(zp.min())}..{int(zp.max())} outside "
+                    f"{qp.numerics.value} range [{qmin}, {qmax}]"))
+    return out
+
+
+def check_quantization(graph: Graph) -> list[Finding]:
+    """Rules QS001–QS007 over one quantized graph."""
+    if not graph.numerics.is_quantized:
+        return []
+    out: list[Finding] = []
+    gname = graph.name
+
+    # QS002/QS003 over every activation and parameter qparam; QS007 coverage
+    for name, spec in graph.tensor_specs.items():
+        if spec.role in _SKIP_ROLES:
+            continue
+        if spec.qparams is None:
+            out.append(Finding(
+                "QS007", gname, tensor=name,
+                message=f"data tensor {name!r} carries no qparams in a "
+                        f"{graph.numerics.value} graph (float island boundary "
+                        f"will be skipped)"))
+            continue
+        out += _check_qparams(spec.qparams, gname, f"tensor {name!r}", tensor=name)
+    for pname, qp in graph.param_qparams.items():
+        out += _check_qparams(qp, gname, f"parameter {pname!r}", tensor=pname)
+
+    for op in graph.ops:
+        # QS001 + QS005 + QS006 for integer-kernel MAC ops
+        if isinstance(op, (Conv2D, DepthwiseConv2D, FullyConnected)):
+            x_qp = graph.spec(op.inputs[0]).qparams
+            w_qp = graph.param_qparams.get(op.attrs["weight"])
+            out_qp = graph.spec(op.outputs[0]).qparams
+            if x_qp is None or w_qp is None or out_qp is None:
+                missing = [label for label, qp in
+                           (("input", x_qp), ("weight", w_qp), ("output", out_qp))
+                           if qp is None]
+                out.append(Finding(
+                    "QS005", gname, op=op.name,
+                    message=f"integer-kernel op {op.name!r} ({op.op_type}) falls "
+                            f"back to float: missing {'/'.join(missing)} qparams"))
+            else:
+                bound = accumulator_bound(op, graph)
+                if bound > _INT32_MAX:
+                    out.append(Finding(
+                        "QS001", gname, op=op.name,
+                        message=f"op {op.name!r} ({op.op_type}): worst-case "
+                                f"accumulator |{bound}| exceeds int32 max "
+                                f"{_INT32_MAX} (reduction size "
+                                f"{_reduction_size(op, graph)})",
+                        details={"bound": bound, "int32_max": _INT32_MAX}))
+                b_name = op.attrs.get("bias")
+                b_qp = graph.param_qparams.get(b_name) if b_name else None
+                if b_qp is not None:
+                    expected = x_qp.scale[0] * w_qp.scale
+                    got = np.asarray(b_qp.scale, dtype=np.float64)
+                    if got.shape != expected.shape or not np.allclose(
+                            got, expected, rtol=1e-9, atol=0.0):
+                        out.append(Finding(
+                            "QS006", gname, op=op.name, tensor=b_name,
+                            message=f"bias {b_name!r} of {op.name!r} quantized at "
+                                    f"scale != input_scale * weight_scale; the "
+                                    f"int32 bias would be misinterpreted"))
+        elif isinstance(op, Activation):
+            in_qp = graph.spec(op.inputs[0]).qparams
+            out_qp = graph.spec(op.outputs[0]).qparams
+            if in_qp is None or out_qp is None:
+                out.append(Finding(
+                    "QS005", gname, op=op.name,
+                    message=f"activation {op.name!r} ({op.attrs.get('kind')}) falls "
+                            f"back to float: missing LUT qparams"))
+
+        # QS004: concat inputs must fit the shared output domain exactly
+        if isinstance(op, Concat):
+            out_qp = graph.spec(op.outputs[0]).qparams
+            if out_qp is not None:
+                out_lo, out_hi = _real_range(out_qp)
+                tol = float(np.max(out_qp.scale)) + 1e-9
+                for t in op.inputs:
+                    in_qp = graph.spec(t).qparams
+                    if in_qp is None:
+                        continue
+                    in_lo, in_hi = _real_range(in_qp)
+                    if in_lo < out_lo - tol or in_hi > out_hi + tol:
+                        out.append(Finding(
+                            "QS004", gname, op=op.name, tensor=t,
+                            message=f"concat {op.name!r}: input {t!r} range "
+                                    f"[{in_lo:.4g}, {in_hi:.4g}] exceeds the shared "
+                                    f"output domain [{out_lo:.4g}, {out_hi:.4g}]; "
+                                    f"requantization will clip",
+                            details={"input_range": [in_lo, in_hi],
+                                     "output_range": [out_lo, out_hi]}))
+        # QS004 (add flavour): wildly mismatched operand scales
+        if isinstance(op, Add) and len(op.inputs) == 2:
+            qa = graph.spec(op.inputs[0]).qparams
+            qb = graph.spec(op.inputs[1]).qparams
+            if qa is not None and qb is not None:
+                sa, sb = float(np.max(qa.scale)), float(np.max(qb.scale))
+                ratio = max(sa, sb) / min(sa, sb)
+                if ratio > _ADD_SCALE_RATIO:
+                    coarse = op.inputs[0] if sa > sb else op.inputs[1]
+                    out.append(Finding(
+                        "QS004", gname, op=op.name, tensor=coarse,
+                        message=f"add {op.name!r}: operand scales differ by "
+                                f"{ratio:.0f}x; the finer operand collapses to a "
+                                f"few codes after requantization"))
+    return out

@@ -1,0 +1,84 @@
+"""Repo self-lint tests: each SL rule fires on crafted source, path scoping
+works, and the repo itself is clean (the same gate ci.sh enforces)."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "tools"))
+
+import selflint  # noqa: E402
+
+
+def _ids(violations):
+    return [v.rule_id for v in violations]
+
+
+def test_sl001_mutable_default_literals_and_constructors():
+    src = (
+        "def a(x=[]):\n    pass\n"
+        "def b(y={}):\n    pass\n"
+        "def c(*, z=set()):\n    pass\n"
+        "def d(w=dict()):\n    pass\n"
+    )
+    violations = selflint.lint_source(src)
+    assert _ids(violations) == ["SL001"] * 4
+    assert violations[0].line == 1
+    assert "shared across calls" in violations[0].message
+
+
+def test_sl001_silent_on_immutable_defaults():
+    src = "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
+    assert selflint.lint_source(src) == []
+
+
+def test_sl002_bare_except():
+    src = "try:\n    pass\nexcept:\n    pass\n"
+    violations = selflint.lint_source(src)
+    assert _ids(violations) == ["SL002"]
+    assert violations[0].line == 3
+
+
+def test_sl002_silent_on_named_except():
+    src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+    assert selflint.lint_source(src) == []
+
+
+def test_sl003_percentile_banned_on_latency_paths():
+    src = "import numpy as np\nq = np.percentile([1.0], 90)\n"
+    violations = selflint.lint_source(src, "src/repro/loadgen/scenarios.py")
+    assert _ids(violations) == ["SL003"]
+    assert "nearest-rank" in violations[0].message
+
+
+def test_sl003_allowed_in_calibration_code():
+    src = "import numpy as np\nq = np.percentile([1.0], 90)\n"
+    assert selflint.lint_source(src, "src/repro/quantization/observers.py") == []
+
+
+def test_sl000_syntax_error():
+    violations = selflint.lint_source("def broken(:\n")
+    assert _ids(violations) == ["SL000"]
+
+
+def test_violations_sorted_by_location():
+    src = "try:\n    pass\nexcept:\n    pass\ndef f(a=[]):\n    pass\n"
+    violations = selflint.lint_source(src)
+    assert [(v.line, v.rule_id) for v in violations] == [(3, "SL002"), (5, "SL001")]
+
+
+def test_repo_is_clean():
+    targets = [ROOT / "src", ROOT / "tests", ROOT / "tools"]
+    assert selflint.lint_paths(targets) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a=[]):\n    pass\n")
+    assert selflint.main([str(bad)]) == 1
+    good = tmp_path / "good.py"
+    good.write_text("def f(a=None):\n    pass\n")
+    assert selflint.main([str(good)]) == 0
+    capsys.readouterr()

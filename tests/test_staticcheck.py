@@ -1,0 +1,752 @@
+"""Static verifier tests: every rule fires on a seeded-broken graph, the
+clean zoo stays silent, and the placement predictor agrees with the hardware
+simulator op-by-op on every applicable vendor profile."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import build_toy_graph
+from repro.backends.vendors import BACKEND_FACTORIES
+from repro.core.export import validate_package
+from repro.graph import export_mobile
+from repro.graph.graph import Graph, GraphValidationError
+from repro.graph.ops import (
+    Activation,
+    Add,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    Op,
+    ShapeError,
+    Softmax,
+    Split,
+)
+from repro.graph.plan import ExecutionPlan
+from repro.graph.tensor import TensorSpec
+from repro.hardware.scheduler import FrameworkProfile, partition_graph
+from repro.hardware.soc import SOC_CATALOG
+from repro.kernels.numerics import Numerics, QuantParams
+from repro.models import available_models, create_reference_model
+from repro.staticcheck import (
+    RULE_CATALOG,
+    RULESET_VERSION,
+    Baseline,
+    Finding,
+    Report,
+    Severity,
+    accumulator_bound,
+    attest,
+    attestation_problems,
+    check_dataflow,
+    check_placement,
+    check_plan,
+    check_quantization,
+    independent_shapes,
+    predict_op_targets,
+    predict_placement,
+    sweep_zoo,
+    verify_graph,
+)
+from repro.staticcheck.__main__ import main as staticcheck_main
+
+
+def _ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def _wire(g: Graph, op: Op, out_shapes, numerics=None):
+    """Append an op without add_op's guards (tests build *broken* graphs)."""
+    g.ops.append(op)
+    for t, shape in zip(op.outputs, out_shapes):
+        g.tensor_specs[t] = TensorSpec(t, shape, numerics or g.numerics)
+    return op
+
+
+def _relu(name, src, dst):
+    return Activation(name, [src], [dst], kind="relu")
+
+
+def _base():
+    g = Graph("broken")
+    g.add_input(TensorSpec("x", (-1, 8, 8, 4)))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# dataflow rules DF001-DF011: one deliberately broken graph each
+# ---------------------------------------------------------------------------
+
+def _df_dangling():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    _wire(g, _relu("b", "x", "z"), [(-1, 8, 8, 4)])  # z dangles
+    g.output_names = ["y"]
+    return g
+
+
+def _df_unused_param():
+    g = _base()
+    g.add_param("w_unused", np.zeros((3, 3, 4, 8), np.float32))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    g.output_names = ["y"]
+    return g
+
+
+def _df_duplicate_producer():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    g.ops.append(_relu("b", "x", "y"))  # second producer of y
+    g.output_names = ["y"]
+    return g
+
+
+def _df_unreachable_output():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    g.output_names = ["y", "ghost"]
+    return g
+
+
+def _df_shape_disagreement():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 4, 4, 4)])  # relu cannot change shape
+    g.output_names = ["y"]
+    return g
+
+
+def _df_numerics_mismatch():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)], numerics=Numerics.FP16)
+    g.output_names = ["y"]
+    return g
+
+
+def _df_duplicate_op_name():
+    g = _base()
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    _wire(g, _relu("a", "y", "z"), [(-1, 8, 8, 4)])
+    g.output_names = ["z"]
+    return g
+
+
+def _df_missing_param():
+    g = _base()
+    op = Conv2D("c", ["x"], ["y"], weight="w_missing", stride=1, padding="same")
+    _wire(g, op, [(-1, 8, 8, 8)])
+    g.output_names = ["y"]
+    return g
+
+
+def _df_param_shadows_input():
+    g = _base()
+    g.add_param("x", np.zeros((2, 2), np.float32))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8, 8, 4)])
+    g.output_names = ["y"]
+    return g
+
+
+class _Mystery(Op):
+    op_type = "mystery"
+
+    def infer_shapes(self, in_shapes, graph):
+        return [in_shapes[0]]
+
+
+def _df_unverifiable():
+    g = _base()
+    _wire(g, _Mystery("m", ["x"], ["y"]), [(-1, 8, 8, 4)])
+    g.output_names = ["y"]
+    return g
+
+
+DATAFLOW_BREAKERS = {
+    "DF001": _df_dangling,
+    "DF002": _df_dangling,  # op b contributes to no output
+    "DF003": _df_unused_param,
+    "DF004": _df_duplicate_producer,
+    "DF005": _df_unreachable_output,
+    "DF006": _df_shape_disagreement,
+    "DF007": _df_numerics_mismatch,
+    "DF008": _df_duplicate_op_name,
+    "DF009": _df_missing_param,
+    "DF010": _df_param_shadows_input,
+    "DF011": _df_unverifiable,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(DATAFLOW_BREAKERS))
+def test_dataflow_rule_fires(rule_id):
+    findings = check_dataflow(DATAFLOW_BREAKERS[rule_id]())
+    assert rule_id in _ids(findings)
+    hit = next(f for f in findings if f.rule_id == rule_id)
+    assert hit.severity is RULE_CATALOG[rule_id].severity
+    assert hit.location != "<graph>" or rule_id not in ("DF001", "DF006")
+
+
+def test_clean_toy_graph_has_no_dataflow_findings():
+    graph, _ = build_toy_graph()
+    assert check_dataflow(export_mobile(graph)) == []
+
+
+def test_independent_shapes_reports_unverifiable_ops():
+    g = _df_unverifiable()
+    shapes, unverifiable = independent_shapes(g)
+    assert [op.name for op in unverifiable] == ["m"]
+    assert "y" not in shapes  # nothing downstream of a mystery op is claimed
+
+
+# ---------------------------------------------------------------------------
+# quantization rules QS001-QS007
+# ---------------------------------------------------------------------------
+
+def _qtensor(name, shape, scale, zp=0, numerics=Numerics.UINT8):
+    qp = QuantParams(scale=np.array([scale]), zero_point=np.array([zp]),
+                     numerics=numerics)
+    return TensorSpec(name, shape, numerics, qparams=qp)
+
+
+def _qs_overflow():
+    """UINT8 FC with a 70k-deep reduction of full-scale weights: the
+    worst-case accumulator provably exceeds int32."""
+    g = Graph("qs_overflow")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x", (-1, 70000), scale=1.0, zp=0))
+    g.add_param("w", np.full((70000, 4), 255, np.uint8))
+    g.param_qparams["w"] = QuantParams(
+        scale=np.array([0.01]), zero_point=np.array([128]), numerics=Numerics.UINT8)
+    _wire(g, FullyConnected("fc", ["x"], ["y"], weight="w"), [(-1, 4)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 4), scale=0.05, zp=0)
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_small_fc(scale_bias_wrong=False, drop_weight_qp=False):
+    g = Graph("qs_fc")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x", (-1, 16), scale=0.05, zp=128))
+    g.add_param("w", np.full((16, 4), 130, np.uint8))
+    if not drop_weight_qp:
+        g.param_qparams["w"] = QuantParams(
+            scale=np.array([0.02]), zero_point=np.array([128]),
+            numerics=Numerics.UINT8)
+    g.add_param("b", np.zeros(4, np.int32))
+    bias_scale = 0.05 * 0.02 * (2.0 if scale_bias_wrong else 1.0)
+    g.param_qparams["b"] = QuantParams(
+        scale=np.array([bias_scale]), zero_point=np.array([0]),
+        numerics=Numerics.INT16)
+    _wire(g, FullyConnected("fc", ["x"], ["y"], weight="w", bias="b"), [(-1, 4)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 4), scale=0.05, zp=0)
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_degenerate_scale():
+    g = Graph("qs_scale")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x", (-1, 8), scale=0.05))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 8), scale=1e-15)
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_zp_out_of_range():
+    g = Graph("qs_zp")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x", (-1, 8), scale=0.05))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 8), scale=0.05, zp=300)
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_concat_clipping():
+    g = Graph("qs_concat")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x1", (-1, 4), scale=1.0))  # real range [0, 255]
+    g.add_input(_qtensor("x2", (-1, 4), scale=0.05))
+    _wire(g, Concat("cat", ["x1", "x2"], ["y"], axis=1), [(-1, 8)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 8), scale=0.1)  # [0, 25.5]: clips x1
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_add_scale_mismatch():
+    g = Graph("qs_add")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x1", (-1, 4), scale=1.0))
+    g.add_input(_qtensor("x2", (-1, 4), scale=0.001))  # 1000x finer
+    _wire(g, Add("add", ["x1", "x2"], ["y"]), [(-1, 4)])
+    g.tensor_specs["y"] = _qtensor("y", (-1, 4), scale=1.0)
+    g.output_names = ["y"]
+    return g
+
+
+def _qs_float_fallback():
+    return _qs_small_fc(drop_weight_qp=True)
+
+
+def _qs_bias_drift():
+    return _qs_small_fc(scale_bias_wrong=True)
+
+
+def _qs_missing_qparams():
+    g = Graph("qs_missing")
+    g.numerics = Numerics.UINT8
+    g.add_input(_qtensor("x", (-1, 8), scale=0.05))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8)])
+    g.tensor_specs["y"] = TensorSpec("y", (-1, 8), Numerics.UINT8)  # no qparams
+    g.output_names = ["y"]
+    return g
+
+
+QUANT_BREAKERS = {
+    "QS001": _qs_overflow,
+    "QS002": _qs_degenerate_scale,
+    "QS003": _qs_zp_out_of_range,
+    "QS004": _qs_concat_clipping,
+    "QS005": _qs_float_fallback,
+    "QS006": _qs_bias_drift,
+    "QS007": _qs_missing_qparams,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(QUANT_BREAKERS))
+def test_quantization_rule_fires(rule_id):
+    findings = check_quantization(QUANT_BREAKERS[rule_id]())
+    assert rule_id in _ids(findings)
+
+
+def test_add_scale_mismatch_also_fires_qs004():
+    assert "QS004" in _ids(check_quantization(_qs_add_scale_mismatch()))
+
+
+def test_sound_quantized_fc_is_clean():
+    assert check_quantization(_qs_small_fc()) == []
+
+
+def test_float_graphs_skip_quantization_rules():
+    graph, _ = build_toy_graph()
+    assert check_quantization(export_mobile(graph)) == []
+
+
+def test_accumulator_bound_symbolic_is_worst_case():
+    """A symbolic weight must bound at least as high as any materialized one."""
+    g = _qs_small_fc()
+    op = g.ops[0]
+    materialized = accumulator_bound(op, g)
+    g.params["w"] = None  # same shape, unknown values
+    assert accumulator_bound(op, g) >= materialized
+
+
+# ---------------------------------------------------------------------------
+# placement rules BP001-BP004
+# ---------------------------------------------------------------------------
+
+PLACEMENT_RULES = {"BP001", "BP002", "BP003", "BP004"}
+_EXY = SOC_CATALOG["exynos_990"]
+
+
+def _predict(g, numerics=Numerics.INT8, framework=None, soc=_EXY):
+    return predict_placement(
+        g, backend="test", task="t", numerics=numerics, soc=soc,
+        primary=soc.accelerator("npu"), fallback=soc.accelerator("cpu"),
+        framework=framework)
+
+
+def test_bp001_fires_on_unknown_op_type():
+    g = _df_unverifiable()  # "mystery" is known to no engine class
+    findings = check_placement(g, _predict(g), _EXY)
+    assert "BP001" in _ids(findings)
+
+
+def test_bp001_fires_on_unfolded_batch_norm():
+    graph, _ = build_toy_graph()  # pre-export: still has batch norms
+    findings = check_placement(graph, _predict(graph), _EXY)
+    assert any(f.rule_id == "BP001" and "batch_norm" in f.message
+               for f in findings)
+
+
+def test_bp002_fires_when_primary_rejects_numerics():
+    g = _base()
+    g.add_op(_relu("a", "x", "y"))
+    g.set_outputs(["y"])
+    pred = _predict(g, numerics=Numerics.FP32)  # the NPU has no FP32 path
+    findings = check_placement(g, pred, _EXY)
+    assert "BP002" in _ids(findings)
+    assert all(acc == "cpu" for _n, acc in pred.op_targets)
+
+
+def test_bp003_fires_on_shredded_graph():
+    g = Graph("confetti")
+    g.add_input(TensorSpec("x", (-1, 8)))
+    prev = "x"
+    for i in range(13):  # relu on NPU, softmax falls back: 26 segments
+        g.add_op(_relu(f"a{i}", prev, f"r{i}"))
+        g.add_op(Softmax(f"s{i}", [f"r{i}"], [f"p{i}"]))
+        prev = f"p{i}"
+    g.set_outputs([prev])
+    pred = _predict(g)
+    assert pred.partition_count == 26
+    assert "BP003" in _ids(check_placement(g, pred, _EXY))
+
+
+def test_bp004_fires_when_fallback_owns_the_macs():
+    g = Graph("fallback_heavy")
+    g.add_input(TensorSpec("x", (-1, 16)))
+    g.add_param("w", np.zeros((16, 64), np.float32))
+    g.add_op(_relu("a", "x", "h"))
+    g.add_op(FullyConnected("fc", ["h"], ["y"], weight="w"))
+    g.set_outputs(["y"])
+    fw = FrameworkProfile("t", unsupported_ops=frozenset({"fully_connected"}))
+    pred = _predict(g, framework=fw)
+    assert pred.fallback_op_types == ["fully_connected"]
+    assert pred.primary_mac_fraction == 0.0
+    assert "BP004" in _ids(check_placement(g, pred, _EXY))
+
+
+# ---------------------------------------------------------------------------
+# plan rules PL001-PL006 (tampered execution plans)
+# ---------------------------------------------------------------------------
+
+PLAN_RULES = {"PL001", "PL002", "PL003", "PL004", "PL005", "PL006"}
+
+
+def _toy_plan():
+    graph, _ = build_toy_graph()
+    return ExecutionPlan(export_mobile(graph))
+
+
+def test_clean_plan_has_no_findings():
+    assert check_plan(_toy_plan()) == []
+
+
+def test_pl001_release_before_last_use():
+    plan = _toy_plan()
+    victim = plan._steps[-1].inputs[0]
+    plan._steps[-2].release = plan._steps[-2].release + (victim,)
+    assert "PL001" in _ids(check_plan(plan))
+
+
+def test_pl002_double_release():
+    plan = _toy_plan()
+    donor = next(s for s in plan._steps if s.release)
+    plan._steps[-1].release = plan._steps[-1].release + (donor.release[0],)
+    assert "PL002" in _ids(check_plan(plan))
+
+
+def test_pl003_unbound_dispatch():
+    plan = _toy_plan()
+    plan._steps[0].fn = None
+    assert "PL003" in _ids(check_plan(plan))
+
+
+def test_pl004_leaked_intermediate():
+    plan = _toy_plan()
+    step = next(s for s in plan._steps if s.release)
+    victim = step.release[0]
+    step.release = tuple(t for t in step.release if t != victim)
+    findings = check_plan(plan)
+    assert any(f.rule_id == "PL004" and f.tensor == victim for f in findings)
+
+
+def test_pl005_output_released():
+    plan = _toy_plan()
+    out = plan.graph.output_names[0]
+    plan._steps[-1].release = plan._steps[-1].release + (out,)
+    assert "PL005" in _ids(check_plan(plan))
+
+
+def test_pl006_read_of_undefined_tensor():
+    plan = _toy_plan()
+    plan._steps[0].inputs = plan._steps[0].inputs + ("phantom",)
+    findings = check_plan(plan)
+    assert any(f.rule_id == "PL006" and f.tensor == "phantom" for f in findings)
+
+
+def test_every_catalog_rule_has_a_breaker_test():
+    covered = (set(DATAFLOW_BREAKERS) | set(QUANT_BREAKERS)
+               | PLACEMENT_RULES | PLAN_RULES)
+    assert covered == set(RULE_CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# cross-validation: predictor vs the hardware simulator, every vendor profile
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def exported_zoo():
+    graphs = {}
+    for name in available_models():
+        g = create_reference_model(name, fitted=False).graph
+        if not g.frozen:
+            g = export_mobile(g)
+        graphs[name] = g
+    return graphs
+
+
+def _applicable_profiles():
+    for backend_name, factory in sorted(BACKEND_FACTORIES.items()):
+        for _soc_name, soc in sorted(SOC_CATALOG.items()):
+            config = factory(soc)
+            if config.vendor is not None and config.vendor != soc.vendor:
+                continue
+            if config.vendor is None and soc.name != "snapdragon_888":
+                continue
+            yield backend_name, config, soc
+
+
+def test_predictor_agrees_with_simulator(exported_zoo):
+    """For every (vendor profile, SoC, model): the static predictor and the
+    runtime partitioner must assign every op to the same engine, yield the
+    same segment count, and the same fallback-op set."""
+    compared = 0
+    for backend_name, config, soc in _applicable_profiles():
+        for model, g in exported_zoo.items():
+            task = str(g.metadata.get("task", "unknown"))
+            cfg = config.tasks.get(task)
+            if cfg is None:
+                continue
+            fw = cfg.framework or config.framework
+            primary = soc.accelerator(cfg.primary)
+            fallback = soc.accelerator("cpu")
+            secondary = soc.accelerator(cfg.secondary) if cfg.secondary else None
+
+            targets = predict_op_targets(
+                g, primary, fallback, cfg.numerics, secondary, fw.unsupported_ops)
+            segments = partition_graph(
+                g, primary, fallback, cfg.numerics, secondary, fw.unsupported_ops)
+            simulated = {name: seg.accelerator.name
+                         for seg in segments for name in seg.op_names}
+            where = f"{backend_name}@{soc.name}/{model}"
+            assert {n: a.name for n, a in targets} == simulated, where
+
+            pred = predict_placement(
+                g, backend=backend_name, task=task, numerics=cfg.numerics,
+                soc=soc, primary=primary, fallback=fallback,
+                secondary=secondary, framework=fw)
+            assert pred.partition_count == len(segments), where
+            assert set(pred.fallback_ops) == {
+                n for n, acc in simulated.items() if acc != primary.name}, where
+            compared += 1
+    assert compared >= 20  # every vendor profile exercised
+
+
+def test_enn_v07_concat_exclusion_fragments_deeplab(exported_zoo):
+    """The paper's 12.7x segmentation story: the v0.7 ENN driver cannot place
+    concat on the NPU, shredding DeepLab; the v1.0 driver fixes it."""
+    g = exported_zoo["deeplab_v3plus"]
+
+    def place(soc_name):
+        soc = SOC_CATALOG[soc_name]
+        config = BACKEND_FACTORIES["enn"](soc)
+        cfg = config.tasks["semantic_segmentation"]
+        fw = cfg.framework or config.framework
+        return fw, predict_placement(
+            g, backend="enn", task="semantic_segmentation", numerics=cfg.numerics,
+            soc=soc, primary=soc.accelerator(cfg.primary),
+            fallback=soc.accelerator("cpu"),
+            secondary=soc.accelerator(cfg.secondary) if cfg.secondary else None,
+            framework=fw)
+
+    fw_990, old = place("exynos_990")
+    fw_2100, new = place("exynos_2100")
+    assert "concat" in fw_990.unsupported_ops
+    assert "concat" not in fw_2100.unsupported_ops
+    assert "concat" in old.fallback_op_types
+    assert old.partition_count > new.partition_count
+    assert old.boundary_sync_ms > new.boundary_sync_ms
+
+
+# ---------------------------------------------------------------------------
+# zoo sweep: the whole model zoo x all numerics must come back clean
+# ---------------------------------------------------------------------------
+
+def test_zoo_sweep_is_clean():
+    reports = sweep_zoo()
+    assert len(reports) == 4 * len(available_models())
+    offenders = [f.render() for r in reports for f in r.findings]
+    assert offenders == []
+    # placement metrics exist and the predicted fragmentation stays in budget
+    worst = max(p["partition_count"] for r in reports
+                for p in r.metrics.get("placements", []))
+    assert 1 <= worst <= 24
+
+
+def test_verify_graph_runs_all_families():
+    graph, _ = build_toy_graph()
+    report = verify_graph(export_mobile(graph))
+    assert report.clean
+    assert "plan" in report.metrics
+    assert "placements" in report.metrics
+
+
+def test_verify_graph_rejects_unknown_family():
+    graph, _ = build_toy_graph()
+    with pytest.raises(ValueError, match="unknown analyzer"):
+        verify_graph(export_mobile(graph), families=("dataflow", "nonsense"))
+
+
+# ---------------------------------------------------------------------------
+# findings, baselines, attestation, CLI
+# ---------------------------------------------------------------------------
+
+def test_finding_rejects_unknown_rule_id():
+    with pytest.raises(KeyError):
+        Finding("XX999", "g", message="nope")
+
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    findings = check_dataflow(_df_dangling())
+    assert findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings, "grandfathered").save(path)
+    report = Report("broken[fp32]")
+    report.extend(findings)
+    report.apply_baseline(Baseline.load(path))
+    assert report.findings == []
+    assert len(report.suppressed) == len(findings)
+    # a *new* finding is not suppressed by the old baseline
+    fresh = Report("other")
+    fresh.extend(check_dataflow(_df_duplicate_op_name()))
+    fresh.apply_baseline(Baseline.load(path))
+    assert fresh.findings
+
+
+def test_severity_ordering_and_report_gating():
+    report = Report("x")
+    report.extend(check_dataflow(_df_dangling()))  # DF001 error + DF002 warning
+    assert len(report.at_least(Severity.ERROR)) < len(report.at_least(Severity.INFO))
+    assert report.errors and not report.clean
+
+
+def test_export_stamps_a_verified_attestation():
+    graph, _ = build_toy_graph()
+    g = export_mobile(graph)
+    stamp = g.metadata["staticcheck"]
+    assert stamp["verified"] is True
+    assert stamp["ruleset"] == RULESET_VERSION
+    assert stamp["checksum"] == g.checksum()
+    assert attestation_problems(g) == []
+
+
+def test_tampering_after_attestation_is_detected():
+    graph, _ = build_toy_graph()
+    g = export_mobile(graph)
+    name = next(iter(g.params))
+    g.params[name] = g.params[name] + 1.0
+    assert any("checksum" in p for p in attestation_problems(g))
+
+
+def test_failed_verification_is_recorded_in_the_stamp():
+    g = _df_dangling()
+    stamp = attest(g, verify_graph(g, families=("dataflow",)))
+    assert stamp["verified"] is False and stamp["errors"] >= 1
+    assert any("unresolved error" in p for p in attestation_problems(g))
+
+
+def test_validate_package_flags_bad_attestations(tmp_path):
+    root = tmp_path / "pkg"
+    (root / "results" / "image_classification").mkdir(parents=True)
+    (root / "system.json").write_text("{}")
+    (root / "summary.json").write_text("[]")
+    (root / "provenance.json").write_text(json.dumps({
+        "version": "v1.0",
+        "models": {"image_classification": {
+            "staticcheck": {"ruleset": RULESET_VERSION, "verified": False,
+                            "errors": 2, "checksum": "aaa"},
+            "deployed_checksum": "bbb",
+        }},
+    }))
+    problems = validate_package(root)
+    assert any("failed static verification" in p for p in problems)
+    assert any("modified after" in p for p in problems)
+
+
+def test_cli_single_model_json(capsys):
+    rc = staticcheck_main(["mobilenet_edgetpu", "--numerics", "fp32",
+                           "--families", "dataflow,placement",
+                           "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["exit_code"] == 0
+    assert payload["ruleset"] == RULESET_VERSION
+    assert payload["reports"][0]["subject"].endswith("[fp32]")
+
+
+def test_cli_rejects_unknown_model(capsys):
+    with pytest.raises(SystemExit):
+        staticcheck_main(["no_such_model"])
+
+
+def test_cli_write_baseline_of_clean_model_is_empty(tmp_path, capsys):
+    path = tmp_path / "known.json"
+    rc = staticcheck_main(["mobilenet_edgetpu", "--numerics", "fp32",
+                           "--families", "dataflow",
+                           "--write-baseline", str(path)])
+    assert rc == 0
+    assert json.loads(path.read_text()) == {}
+
+
+# ---------------------------------------------------------------------------
+# satellites: tightened Graph.validate and ShapeError context
+# ---------------------------------------------------------------------------
+
+class TestValidateTightening:
+    def test_duplicate_op_names_rejected(self):
+        g = _df_duplicate_op_name()
+        with pytest.raises(GraphValidationError, match="more than once"):
+            g.validate()
+
+    def test_output_naming_nonexistent_tensor_rejected(self):
+        g = _df_unreachable_output()
+        with pytest.raises(GraphValidationError, match="ghost"):
+            g.validate()
+
+    def test_param_shadowing_input_rejected(self):
+        g = _df_param_shadows_input()
+        with pytest.raises(GraphValidationError, match="shadows"):
+            g.validate()
+
+    def test_duplicate_producer_rejected_with_both_op_names(self):
+        g = _df_duplicate_producer()
+        with pytest.raises(GraphValidationError, match="'a' and 'b'"):
+            g.validate()
+
+
+class TestShapeErrorContext:
+    def test_conv_channel_mismatch(self):
+        g = Graph("t")
+        g.add_input(TensorSpec("x", (-1, 8, 8, 4)))
+        g.add_param("w", np.zeros((3, 3, 5, 8), np.float32))
+        with pytest.raises(ShapeError) as ei:
+            g.add_op(Conv2D("c", ["x"], ["y"], weight="w", stride=1,
+                            padding="same"))
+        err = ei.value
+        assert err.op_name == "c" and err.op_type == "conv2d"
+        assert err.in_shapes == [(-1, 8, 8, 4)]
+        assert "'c'" in str(err) and "(-1, 8, 8, 4)" in str(err)
+
+    def test_add_operand_mismatch(self):
+        g = Graph("t")
+        g.add_input(TensorSpec("a", (-1, 4, 4, 2)))
+        g.add_input(TensorSpec("b", (-1, 5, 4, 2)))
+        with pytest.raises(ShapeError, match="disagree beyond the batch dim"):
+            g.add_op(Add("add", ["a", "b"], ["y"]))
+
+    def test_concat_non_axis_mismatch_names_dims(self):
+        g = Graph("t")
+        g.add_input(TensorSpec("a", (-1, 4, 4, 2)))
+        g.add_input(TensorSpec("b", (-1, 5, 4, 2)))
+        with pytest.raises(ShapeError, match=r"non-concat dim\(s\) \[1\]"):
+            g.add_op(Concat("cat", ["a", "b"], ["y"], axis=3))
+
+    def test_split_divisibility(self):
+        g = Graph("t")
+        g.add_input(TensorSpec("x", (-1, 10)))
+        with pytest.raises(ShapeError, match="not divisible into 3 parts"):
+            g.add_op(Split("s", ["x"], ["p0", "p1", "p2"], parts=3))

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""AST-based repo self-lint: bans the foot-guns this codebase has been bitten by.
+
+Rules
+-----
+SL001  mutable default argument — a ``def`` whose default is a list/dict/set
+       literal (or constructor call): the default is shared across calls.
+SL002  bare ``except:`` — swallows KeyboardInterrupt/SystemExit and hides
+       real faults from the fault-injection suites.
+SL003  interpolated ``np.percentile`` on a latency path — MLPerf latency
+       percentiles are the nearest-rank order statistic; NumPy's default
+       linear interpolation manufactures latencies no query ever had (the
+       exact bug class fixed in the conformance PR). Latency paths must use
+       ``repro.loadgen.scenarios.percentile_latency``. Calibration code
+       (quantization/) legitimately interpolates activation ranges and is
+       out of scope.
+
+Usage: ``python tools/selflint.py [paths...]`` (defaults to src/ and tests/);
+exits 1 when any finding fires. ``lint_source`` is the testable core API.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+__all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "main"]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# directories where latency statistics live; np.percentile is banned here
+LATENCY_PATHS = ("loadgen", "core", "analysis", "benchmarks")
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+class Violation:
+    def __init__(self, rule_id: str, path: str, line: int, message: str):
+        self.rule_id = rule_id
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else getattr(fn, "attr", None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _on_latency_path(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    return any(p in LATENCY_PATHS for p in parts)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one module's source text; ``path`` decides path-scoped rules."""
+    out: list[Violation] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation("SL000", path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for d in defaults:
+                if _is_mutable_default(d):
+                    out.append(Violation(
+                        "SL001", path, d.lineno,
+                        f"mutable default argument in {node.name}(); the object "
+                        f"is created once and shared across calls"))
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            out.append(Violation(
+                "SL002", path, node.lineno,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; name "
+                "the exceptions"))
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "percentile"
+              and _on_latency_path(path)):
+            out.append(Violation(
+                "SL003", path, node.lineno,
+                "interpolated percentile on a latency path; use the "
+                "nearest-rank percentile_latency (MLPerf statistic)"))
+    return sorted(out, key=lambda v: (v.path, v.line, v.rule_id))
+
+
+def lint_file(path: pathlib.Path, root: pathlib.Path = REPO_ROOT) -> list[Violation]:
+    rel = str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
+    return lint_source(path.read_text(), rel)
+
+
+def lint_paths(paths: list[pathlib.Path], root: pathlib.Path = REPO_ROOT) -> list[Violation]:
+    out: list[Violation] = []
+    for p in paths:
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            out.extend(lint_file(f, root))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    targets = [pathlib.Path(a) for a in args] or [
+        REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "tools"
+    ]
+    violations = lint_paths(targets)
+    for v in violations:
+        print(v)
+    print(f"selflint: {len(violations)} violation(s) in "
+          f"{', '.join(str(t) for t in targets)}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
