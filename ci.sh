@@ -18,6 +18,15 @@ python tools/selflint.py src tests tools
 # back clean from all four analyzer families — no baseline file in CI
 python -m repro.staticcheck --fail-level warning
 
+# value-range engine: interval proofs over the same matrix. The known clip-
+# risk/coverage findings are pinned in the checked-in baseline, so the gate
+# trips only on *new* provable errors (e.g. a range-aware accumulator
+# overflow). The full JSON report is kept as a build artifact next to the
+# BENCH files.
+python -m repro.staticcheck --ranges --baseline tools/ranges_baseline.json \
+    --fail-level error --format json \
+    > benchmarks/results/STATICCHECK_ranges.json
+
 python -m pytest -x -q tests/test_conformance.py tests/test_faults.py
 python -m pytest -x -q tests
 python benchmarks/bench_executor.py --smoke

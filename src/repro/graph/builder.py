@@ -96,8 +96,9 @@ class GraphBuilder:
         shape: tuple[int, ...],
         numerics: Numerics = Numerics.FP32,
         role: str = "data",
+        domain: tuple[float, float] | None = None,
     ) -> str:
-        self.graph.add_input(TensorSpec(name, shape, numerics, role=role))
+        self.graph.add_input(TensorSpec(name, shape, numerics, role=role, domain=domain))
         return name
 
     def outputs(self, *names: str) -> None:

@@ -58,12 +58,19 @@ class Executor:
         self,
         feeds: dict[str, np.ndarray],
         observer: Observer | None = None,
+        tap: Observer | None = None,
     ) -> dict[str, np.ndarray]:
         """The legacy per-query interpreting loop (the plan's exactness oracle).
 
         Re-derives dispatch, qparams and constant-operand reductions on every
         call and retains all intermediates; kept as the reference
         implementation that ``ExecutionPlan`` must match bit-for-bit.
+
+        ``tap``, unlike ``observer``, is valid on every numerics mode: it
+        receives every tensor in its raw stored form (integer codes on
+        quantized graphs, post-cast floats on FP16) — inputs after boundary
+        quantization and each op output. Used by the static range analysis to
+        cross-validate proven intervals against concrete execution.
         """
         g = self.graph
         numerics = g.numerics
@@ -77,6 +84,8 @@ class Executor:
             if numerics.is_quantized and spec.qparams is not None:
                 arr = quantize(arr, spec.qparams)
             env[spec.name] = arr
+            if tap is not None:
+                tap(spec.name, arr)
 
         for op in g.ops:
             ins = [env[t] for t in op.inputs]
@@ -92,6 +101,8 @@ class Executor:
                 env[t] = arr
                 if observer is not None and np.issubdtype(arr.dtype, np.floating):
                     observer(t, arr)
+                if tap is not None:
+                    tap(t, arr)
 
         results = {}
         for name in g.output_names:

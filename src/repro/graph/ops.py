@@ -13,6 +13,7 @@ exactly as TFLite does for its "float fallback" islands.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -22,7 +23,20 @@ from .. import kernels as K
 from ..kernels.numerics import Numerics, QuantParams, dequantize, quantize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..staticcheck.intervals import Interval
     from .graph import Graph
+
+_INTERVALS = None
+
+
+def _iv():
+    """Lazy import of the interval domain (breaks the staticcheck cycle)."""
+    global _INTERVALS
+    if _INTERVALS is None:
+        from ..staticcheck import intervals as mod
+
+        _INTERVALS = mod
+    return _INTERVALS
 
 __all__ = [
     "OpCost",
@@ -99,6 +113,76 @@ def _shape_elems(shape: Sequence[int]) -> int:
     return n
 
 
+def _real_param(graph: "Graph", name: str) -> np.ndarray | None:
+    """A parameter's real-valued matrix (dequantized when it carries qparams)."""
+    arr = graph.params.get(name)
+    if arr is None:
+        return None
+    qp = graph.param_qparams.get(name)
+    if qp is not None:
+        return dequantize(arr, qp).astype(np.float64)
+    return np.asarray(arr, dtype=np.float64)
+
+
+def _reduction_interval(
+    w_flat: np.ndarray,
+    x,
+    bias: np.ndarray | None,
+    *,
+    include_zero: bool,
+):
+    """Interval of ``Σ_i w_i·x_i + b`` per output column, hulled over columns.
+
+    ``w_flat`` is the real weight matrix reshaped to ``(reduction, out)``;
+    every ``x_i`` independently ranges over the interval ``x``.
+    ``include_zero`` widens each term with 0 (a "same"-padded tap contributes
+    nothing). The result is padded by the float32 dot-product error bound, so
+    it contains the kernel's floating-point output, not just the real one.
+    """
+    Interval = _iv().Interval
+    if not x.is_bounded:
+        return Interval.top()
+    a = w_flat * x.lo
+    b = w_flat * x.hi
+    term_lo = np.minimum(a, b)
+    term_hi = np.maximum(a, b)
+    if include_zero:
+        term_lo = np.minimum(term_lo, 0.0)
+        term_hi = np.maximum(term_hi, 0.0)
+    lo = term_lo.sum(axis=0)
+    hi = term_hi.sum(axis=0)
+    mag = np.abs(w_flat).sum(axis=0) * x.max_abs
+    if bias is not None:
+        lo = lo + bias
+        hi = hi + bias
+        mag = mag + np.abs(bias)
+    pad = _iv().dot_error_bound(w_flat.shape[0] + 1, float(mag.max(initial=0.0)))
+    return Interval(float(lo.min()) - pad, float(hi.max()) + pad)
+
+
+def _symbolic_reduction_interval(graph: "Graph", op: "Op", k: int, x):
+    """Weight-free fallback: bound the reduction from the weight qparams.
+
+    With only a quantization format for the weights, every real weight lies
+    in ``[-A, A]`` with ``A = max_c scale_c · max(|qmin−zp|, |qmax−zp|)``;
+    without even that, the reduction is unbounded.
+    """
+    Interval = _iv().Interval
+    w_qp = graph.param_qparams.get(op.attrs["weight"])
+    b_name = op.attrs.get("bias")
+    if w_qp is None or not x.is_bounded or (b_name and graph.params.get(b_name) is None):
+        return Interval.top()
+    zp = w_qp.zero_point.astype(np.float64)
+    amp = float(np.max(w_qp.scale * np.maximum(
+        np.abs(w_qp.numerics.qmin - zp), np.abs(w_qp.numerics.qmax - zp))))
+    m = k * amp * x.max_abs
+    iv = Interval(-m, m)
+    if b_name:
+        b = _real_param(graph, b_name)
+        iv = iv + Interval(float(b.min()), float(b.max()))
+    return iv.widen(_iv().dot_error_bound(k + 1, m))
+
+
 class Op:
     """Base operator. Subclasses set ``op_type`` and implement the hooks."""
 
@@ -120,6 +204,15 @@ class Op:
 
     def infer_shapes(self, in_shapes: list[tuple[int, ...]], graph: "Graph") -> list[tuple[int, ...]]:
         raise NotImplementedError
+
+    def infer_ranges(
+        self, in_ranges: list["Interval"], in_shapes: list[tuple[int, ...]],
+        graph: "Graph",
+    ) -> list["Interval"]:
+        """Sound value-interval transfer: concrete inputs inside ``in_ranges``
+        imply concrete outputs inside the returned intervals (including
+        float32 rounding). The base op knows nothing and returns ⊤."""
+        return [_iv().Interval.top() for _ in self.outputs]
 
     def execute_float(self, inputs: list[np.ndarray], graph: "Graph") -> list[np.ndarray]:
         raise NotImplementedError
@@ -224,6 +317,28 @@ class Conv2D(Op):
         _, oh, ow, _ = out_shapes[0]
         return oh * ow * kh * kw * cin * cout
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        w = _real_param(graph, self.attrs["weight"])
+        act = self.attrs.get("activation")
+        same = self.attrs["padding"] == "same"
+        if w is None:
+            iv = _symbolic_reduction_interval(
+                graph, self, self._reduction_len(graph), in_ranges[0])
+        else:
+            b_name = self.attrs.get("bias")
+            bias = _real_param(graph, b_name) if b_name else None
+            iv = _reduction_interval(
+                self._weight_as_matrix(w), in_ranges[0], bias, include_zero=same)
+        return [_iv().activation_transfer(act, iv)]
+
+    def _weight_as_matrix(self, w: np.ndarray) -> np.ndarray:
+        # (kh, kw, Cin, Cout) -> (kh*kw*Cin, Cout): reduction per output channel
+        return w.reshape(-1, w.shape[-1])
+
+    def _reduction_len(self, graph: "Graph") -> int:
+        kh, kw, cin, _ = graph.param_shape(self.attrs["weight"])
+        return kh * kw * cin
+
 
 class DepthwiseConv2D(Conv2D):
     op_type = "depthwise_conv2d"
@@ -275,6 +390,14 @@ class DepthwiseConv2D(Conv2D):
         _, oh, ow, _ = out_shapes[0]
         return oh * ow * kh * kw * c
 
+    def _weight_as_matrix(self, w: np.ndarray) -> np.ndarray:
+        # (kh, kw, C, 1) -> (kh*kw, C): per-channel window reduction
+        return w[..., 0].reshape(-1, w.shape[2])
+
+    def _reduction_len(self, graph: "Graph") -> int:
+        kh, kw, _, _ = graph.param_shape(self.attrs["weight"])
+        return kh * kw
+
 
 class FullyConnected(Op):
     op_type = "fully_connected"
@@ -317,6 +440,18 @@ class FullyConnected(Op):
         lead = _shape_elems(in_shapes[0][:-1])
         return lead * fin * fout
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        w = _real_param(graph, self.attrs["weight"])
+        act = self.attrs.get("activation")
+        if w is None:
+            fin = graph.param_shape(self.attrs["weight"])[0]
+            iv = _symbolic_reduction_interval(graph, self, fin, in_ranges[0])
+        else:
+            b_name = self.attrs.get("bias")
+            bias = _real_param(graph, b_name) if b_name else None
+            iv = _reduction_interval(w, in_ranges[0], bias, include_zero=False)
+        return [_iv().activation_transfer(act, iv)]
+
 
 class AvgPool2D(Op):
     op_type = "avg_pool2d"
@@ -331,12 +466,27 @@ class AvgPool2D(Op):
     def execute_float(self, inputs, graph):
         return [K.avg_pool2d(inputs[0], self.attrs["k"], self.attrs["stride"], self.attrs["padding"])]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        iv = in_ranges[0]
+        if not iv.is_bounded:
+            return [iv]
+        if self.attrs["padding"] == "same":
+            # zero-padded taps participate in the mean
+            iv = iv.hull(_iv().Interval.point(0.0))
+        k2 = self.attrs["k"] ** 2
+        pad = _iv().dot_error_bound(k2 + 1, iv.max_abs * k2) / max(k2, 1)
+        return [iv.widen(pad).pad_f32()]
+
 
 class MaxPool2D(AvgPool2D):
     op_type = "max_pool2d"
 
     def execute_float(self, inputs, graph):
         return [K.max_pool2d(inputs[0], self.attrs["k"], self.attrs["stride"], self.attrs["padding"])]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        # exact selection of an existing element (padding uses -inf taps)
+        return [in_ranges[0]]
 
 
 class GlobalAvgPool(Op):
@@ -350,6 +500,14 @@ class GlobalAvgPool(Op):
 
     def execute_float(self, inputs, graph):
         return [K.global_avg_pool(inputs[0], keepdims=self.attrs.get("keepdims", True))]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        iv = in_ranges[0]
+        if not iv.is_bounded:
+            return [iv]
+        hw = _shape_elems(in_shapes[0][1:3]) if len(in_shapes[0]) == 4 else 1
+        pad = _iv().dot_error_bound(hw + 1, iv.max_abs * hw) / max(hw, 1)
+        return [iv.widen(pad).pad_f32()]
 
 
 class ResizeBilinear(Op):
@@ -369,6 +527,10 @@ class ResizeBilinear(Op):
             )
         ]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        # convex combination of existing samples, plus interpolation rounding
+        return [in_ranges[0].pad_f32() if in_ranges[0].is_bounded else in_ranges[0]]
+
 
 class Add(Op):
     op_type = "add"
@@ -382,6 +544,12 @@ class Add(Op):
 
     def execute_float(self, inputs, graph):
         return [self._apply_activation((inputs[0] + inputs[1]).astype(np.float32))]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        iv = in_ranges[0] + in_ranges[1]
+        if iv.is_bounded:
+            iv = iv.pad_f32()
+        return [_iv().activation_transfer(self.attrs.get("activation"), iv)]
 
 
 class Concat(Op):
@@ -419,6 +587,12 @@ class Concat(Op):
             parts.append(quantize(dequantize(arr, qp), out_qp) if qp is not None else arr)
         return [np.concatenate(parts, axis=self.attrs["axis"])]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        iv = in_ranges[0]
+        for other in in_ranges[1:]:
+            iv = iv.hull(other)
+        return [iv]
+
 
 class Activation(Op):
     op_type = "activation"
@@ -438,6 +612,9 @@ class Activation(Op):
         lut = K.quantized_lut(ACTIVATION_FUNCTIONS[self.attrs["kind"]], in_qp, out_qp)
         return [K.apply_quantized_lut(inputs[0], lut, in_qp)]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        return [_iv().activation_transfer(self.attrs["kind"], in_ranges[0])]
+
 
 class Softmax(Op):
     op_type = "softmax"
@@ -447,6 +624,9 @@ class Softmax(Op):
 
     def execute_float(self, inputs, graph):
         return [K.softmax(inputs[0], axis=self.attrs.get("axis", -1))]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        return [_iv().Interval(0.0, 1.0)]
 
 
 class Reshape(Op):
@@ -468,6 +648,9 @@ class Reshape(Op):
 
     def execute_quantized(self, inputs, graph):
         return self.execute_float(inputs, graph)
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        return [in_ranges[0]]  # pure data movement
 
 
 class BatchNorm(Op):
@@ -494,6 +677,22 @@ class BatchNorm(Op):
             )
         ]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        Interval = _iv().Interval
+        x = in_ranges[0]
+        mean = _real_param(graph, self.attrs["mean"])
+        var = _real_param(graph, self.attrs["variance"])
+        gamma = _real_param(graph, self.attrs["gamma"])
+        beta = _real_param(graph, self.attrs["beta"])
+        if any(p is None for p in (mean, var, gamma, beta)) or not x.is_bounded:
+            return [Interval.top()]
+        # y_c = a_c·x + b_c with a_c = γ_c/√(var_c+eps); hull over channels
+        a = gamma / np.sqrt(var + self.attrs.get("eps", 1e-3))
+        b = beta - a * mean
+        lo = np.minimum(a * x.lo, a * x.hi) + b
+        hi = np.maximum(a * x.lo, a * x.hi) + b
+        return [Interval(float(lo.min()), float(hi.max())).pad_f32()]
+
 
 class LayerNorm(Op):
     op_type = "layer_norm"
@@ -514,6 +713,20 @@ class LayerNorm(Op):
             )
         ]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        Interval = _iv().Interval
+        gamma = _real_param(graph, self.attrs["gamma"])
+        beta = _real_param(graph, self.attrs["beta"])
+        if gamma is None or beta is None or not in_ranges[0].is_bounded:
+            return [Interval.top()]
+        # the normalized vector z satisfies ‖z‖₂ = √N, so |z_i| ≤ √N for any
+        # input; y_c = γ_c·z + β_c, hulled over channels
+        n = in_shapes[0][-1]
+        z = math.sqrt(float(n)) * (1.0 + 1e-5)  # float32 normalization slack
+        lo = np.minimum(gamma * -z, gamma * z) + beta
+        hi = np.maximum(gamma * -z, gamma * z) + beta
+        return [Interval(float(lo.min()), float(hi.max())).pad_f32()]
+
 
 class MultiHeadAttention(Op):
     """Fused scaled-dot-product attention over already-projected q/k/v."""
@@ -530,6 +743,15 @@ class MultiHeadAttention(Op):
     def macs(self, in_shapes, out_shapes, graph):
         _, s, hidden = in_shapes[0]
         return 2 * s * s * hidden
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        # softmax weights are a convex combination of the value rows, so the
+        # output lives in the hull of v's interval regardless of q/k
+        v = in_ranges[2]
+        if not v.is_bounded:
+            return [v]
+        s = in_shapes[0][1]
+        return [v.widen(_iv().dot_error_bound(s + 1, v.max_abs * 1.01)).pad_f32()]
 
 
 class Embedding(Op):
@@ -563,6 +785,20 @@ class Embedding(Op):
         qp = graph.spec(self.outputs[0]).qparams
         return [quantize(outs[0], qp) if qp is not None else outs[0]]
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        Interval = _iv().Interval
+        table = _real_param(graph, self.attrs["table"])
+        if table is None:
+            return [Interval.top()]
+        iv = Interval(float(table.min()), float(table.max()))
+        pos_name = self.attrs.get("position_table")
+        if pos_name:
+            pos = _real_param(graph, pos_name)
+            if pos is None:
+                return [Interval.top()]
+            iv = iv + Interval(float(pos.min()), float(pos.max()))
+        return [iv.pad_f32()]
+
 
 class Split(Op):
     """Split the last axis into equal parts (e.g. start/end QA logits)."""
@@ -582,6 +818,9 @@ class Split(Op):
 
     def execute_quantized(self, inputs, graph):
         return self.execute_float(inputs, graph)
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        return [in_ranges[0]] * self.attrs["parts"]  # pure data movement
 
 
 class LSTM(Op):
@@ -617,6 +856,10 @@ class LSTM(Op):
         hidden = graph.param_shape(self.attrs["w_hh"])[0]
         return t * 4 * hidden * (f_in + hidden)
 
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        # h_t = o_t · tanh(c_t) with o_t ∈ (0, 1), tanh ∈ (−1, 1)
+        return [_iv().Interval(-1.0, 1.0)]
+
 
 class DepthToSpace(Op):
     """Pixel-shuffle upsampling (super-resolution models, App. E)."""
@@ -637,3 +880,6 @@ class DepthToSpace(Op):
     def execute_quantized(self, inputs, graph):
         # pure data movement: the integer payload is rearranged, not rescaled
         return [K.depth_to_space(inputs[0], self.attrs["block"])]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        return [in_ranges[0]]  # pure data movement

@@ -118,6 +118,15 @@ class QuantParams:
         shape[self.axis] = self.scale.size
         return tuple(shape)
 
+    def representable_range(self) -> tuple[float, float]:
+        """Real-valued interval this format can store: ``scale·(q − zp)`` over
+        ``[qmin, qmax]``, hulled over channels for per-channel params."""
+        qmin, qmax = self.numerics.qmin, self.numerics.qmax
+        zp = self.zero_point.astype(np.float64)
+        lo = float(np.min(self.scale * (qmin - zp)))
+        hi = float(np.max(self.scale * (qmax - zp)))
+        return lo, hi
+
 
 def choose_qparams(
     min_val: float | np.ndarray,
@@ -138,12 +147,13 @@ def choose_qparams(
     if symmetric:
         bound = np.maximum(np.abs(lo), np.abs(hi))
         bound = np.where(bound == 0, 1e-8, bound)
-        scale = bound / ((qmax - qmin) / 2.0)
+        # a subnormal bound can underflow the division to exactly 0.0
+        scale = np.maximum(bound / ((qmax - qmin) / 2.0), np.finfo(np.float64).tiny)
         zero_point = np.full_like(np.atleast_1d(scale), (qmax + qmin + 1) // 2, dtype=np.int64)
     else:
         span = hi - lo
         span = np.where(span == 0, 1e-8, span)
-        scale = span / (qmax - qmin)
+        scale = np.maximum(span / (qmax - qmin), np.finfo(np.float64).tiny)
         zero_point = np.clip(np.round(qmin - lo / scale), qmin, qmax).astype(np.int64)
     return QuantParams(scale=scale, zero_point=zero_point, numerics=numerics, axis=axis)
 

@@ -52,7 +52,6 @@ def equalize_cross_layer(graph: Graph, iterations: int = 2) -> Graph:
         raise ValueError("cross-layer equalization needs materialized weights")
     pairs = 0
     for _ in range(iterations):
-        producers = g.producers()
         consumers = g.consumers()
         for op in g.ops:
             if not isinstance(op, (Conv2D, DepthwiseConv2D)):

@@ -51,6 +51,16 @@ def pack_calibration_batches(
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
+    if batches:
+        keys = set(batches[0])
+        for i, feed in enumerate(batches[1:], start=1):
+            if set(feed) != keys:
+                missing = sorted(keys - set(feed))
+                extra = sorted(set(feed) - keys)
+                raise ValueError(
+                    f"calibration feed #{i} disagrees with feed #0 on its keys"
+                    + (f" (missing {missing})" if missing else "")
+                    + (f" (unexpected {extra})" if extra else ""))
     packed: list[dict[str, np.ndarray]] = []
     group: list[dict[str, np.ndarray]] = []
     count = 0
@@ -192,6 +202,11 @@ def quantize_graph(
         "per_channel": per_channel,
         "observer": calibration.observer_kind,
         "calibration_samples": calibration.num_samples,
+        # kept for the range engine's calibration-coverage check (VR003)
+        "calibration_ranges": {
+            name: [float(lo), float(hi)]
+            for name, (lo, hi) in sorted(calibration.ranges.items())
+        },
     }
     g.freeze()
     # re-attest: quantization changed params/specs, so the export-time stamp

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.staticcheck                       # full zoo, all numerics
     python -m repro.staticcheck mobilebert --numerics int8,uint8
+    python -m repro.staticcheck --ranges              # add the value-range engine
     python -m repro.staticcheck --format json > staticcheck.json
     python -m repro.staticcheck --write-baseline known.json
     python -m repro.staticcheck --baseline known.json # suppress known findings
@@ -21,7 +22,7 @@ import sys
 from ..kernels.numerics import Numerics
 from ..models import available_models
 from .findings import RULESET_VERSION, Baseline, Severity
-from .verifier import ALL_FAMILIES, sweep_zoo
+from .verifier import ALL_FAMILIES, KNOWN_FAMILIES, sweep_zoo
 
 _NUMERICS = {n.value: n for n in
              (Numerics.FP32, Numerics.FP16, Numerics.INT8, Numerics.UINT8)}
@@ -52,9 +53,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--numerics", type=_csv(_NUMERICS, "numerics"),
                         default=tuple(_NUMERICS),
                         help="comma-separated formats (default: %(default)s)")
-    parser.add_argument("--families", type=_csv(ALL_FAMILIES, "family"),
+    parser.add_argument("--families", type=_csv(KNOWN_FAMILIES, "family"),
                         default=ALL_FAMILIES,
-                        help="analyzer families to run (default: all four)")
+                        help="analyzer families to run (default: dataflow, "
+                             "quantization, placement, plan)")
+    parser.add_argument("--ranges", action="store_true",
+                        help="also run the value-range engine (VR rules: "
+                             "interval propagation from declared input domains)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument("--baseline", metavar="PATH",
                         help="JSON suppression file of accepted findings")
@@ -70,11 +75,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown model(s) {unknown}; available: {', '.join(known)}")
 
+    families = tuple(args.families)
+    if args.ranges and "ranges" not in families:
+        families += ("ranges",)
+
     baseline = Baseline.load(args.baseline) if args.baseline else None
     reports = sweep_zoo(
         tuple(args.models) or None,
         tuple(_NUMERICS[n] for n in args.numerics),
-        families=tuple(args.families),
+        families=families,
         baseline=baseline,
     )
 
@@ -93,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.format == "json":
         json.dump({
             "ruleset": RULESET_VERSION,
-            "families": list(args.families),
+            "families": list(families),
             "reports": [r.to_dict() for r in reports],
             "total_findings": total,
             "suppressed": suppressed,
@@ -105,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
             print(report.render_text())
         verdict = "CLEAN" if not failing else f"{failing} gating finding(s)"
         print(f"\n{len(reports)} deployment(s) checked "
-              f"[{', '.join(args.families)}]: {verdict}"
+              f"[{', '.join(families)}]: {verdict}"
               + (f" ({suppressed} suppressed)" if suppressed else ""))
     return 1 if failing else 0
 

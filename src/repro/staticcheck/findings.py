@@ -26,7 +26,7 @@ __all__ = [
 
 # bump when rule semantics change: attestations record the ruleset they
 # were produced under, so stale "verified" stamps are detectable
-RULESET_VERSION = 1
+RULESET_VERSION = 2
 
 
 class Severity(enum.Enum):
@@ -49,12 +49,12 @@ class Severity(enum.Enum):
 class Rule:
     rule_id: str
     severity: Severity
-    family: str  # "dataflow" | "quantization" | "placement" | "plan"
+    family: str  # "dataflow" | "quantization" | "placement" | "plan" | "ranges"
     title: str
     proves: str  # the invariant a clean pass establishes
 
 
-_E, _W = Severity.ERROR, Severity.WARNING
+_E, _W, _I = Severity.ERROR, Severity.WARNING, Severity.INFO
 
 RULE_CATALOG: dict[str, Rule] = {r.rule_id: r for r in [
     # -- typed dataflow verifier ------------------------------------------
@@ -122,6 +122,25 @@ RULE_CATALOG: dict[str, Rule] = {r.rule_id: r for r in [
          "no declared graph output is ever freed by the schedule"),
     Rule("PL006", _E, "plan", "read of undefined tensor",
          "every step reads only graph inputs or earlier steps' outputs"),
+    # -- value-range engine (abstract interpretation) ----------------------
+    Rule("VR001", _E, "ranges", "range-aware accumulator overflow",
+         "no integer kernel's accumulator can exceed int32 given the *proven* "
+         "input interval (tighter than QS001's format-worst-case assumption)"),
+    Rule("VR002", _W, "ranges", "requantization clipping risk",
+         "every quantized tensor's proven pre-quantization interval fits its "
+         "QuantParams' representable range (the tensor can never clip)"),
+    Rule("VR003", _I, "ranges", "calibration under-coverage",
+         "every calibrated range covers a meaningful fraction of the proven "
+         "reachable interval (narrow calibration clips silently in deployment)"),
+    Rule("VR004", _W, "ranges", "fp16 overflow",
+         "no tensor on the FP16 path can exceed the 65504 half-precision "
+         "ceiling (cast would produce inf)"),
+    Rule("VR005", _I, "ranges", "fp16 denormal underflow",
+         "no tensor on the FP16 path is confined below the smallest normal "
+         "half-precision magnitude (values collapse to denormals/zero)"),
+    Rule("VR006", _W, "ranges", "dead activation",
+         "no activation's output interval collapses to a constant while its "
+         "input still varies (the op contributes nothing but latency)"),
 ]}
 
 

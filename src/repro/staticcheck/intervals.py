@@ -1,0 +1,266 @@
+"""Interval abstract domain for the value-range engine.
+
+An :class:`Interval` is a closed, possibly unbounded interval ``[lo, hi]``
+over the reals — the classic abstract-interpretation value domain. Every
+per-op transfer function in :mod:`repro.graph.ops` (``infer_ranges``) maps
+input intervals to output intervals such that *concrete execution is
+contained*: if every concrete input lies inside its interval, every concrete
+output lies inside the transferred interval. Soundness against floating-point
+execution (not just real arithmetic) is obtained by explicit outward
+widening: :meth:`Interval.pad_f32` covers per-element float32 rounding and
+:func:`dot_error_bound` covers the accumulated error of a float32 reduction
+of known length, so the proofs hold for the kernels as implemented, not for
+an idealized real-valued machine.
+
+The activation transfer table mirrors ``kernels.activations`` function by
+function; non-monotonic activations (hard_swish, gelu) are handled via their
+known stationary points rather than endpoint evaluation alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Interval",
+    "ACTIVATION_TRANSFERS",
+    "activation_transfer",
+    "dot_error_bound",
+    "FP16_MAX",
+    "FP16_SMALLEST_NORMAL",
+]
+
+# IEEE half-precision limits (the FP16 deployment path's hard ceiling/floor)
+FP16_MAX = 65504.0
+FP16_SMALLEST_NORMAL = 2.0 ** -14
+
+# relative outward padding covering one float32 rounding step (2**-24 would
+# be exact for a single rounding; the slack absorbs a couple of chained ones)
+_F32_REL = 2.0 ** -20
+# absolute floor so intervals around zero still absorb rounding of tiny sums
+_F32_ABS = 1e-30
+
+_INF = math.inf
+
+
+def _lo_hi(a: float, b: float) -> tuple[float, float]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed interval ``[lo, hi]``; ``±inf`` endpoints mean unbounded."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        if math.isnan(lo) or math.isnan(hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def point(cls, v: float) -> "Interval":
+        return cls(v, v)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(-_INF, _INF)
+
+    @classmethod
+    def of(cls, *values: float) -> "Interval":
+        return cls(min(values), max(values))
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def max_abs(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    def contains(self, other: "Interval | float", tol: float = 0.0) -> bool:
+        if isinstance(other, Interval):
+            return other.lo >= self.lo - tol and other.hi <= self.hi + tol
+        return self.lo - tol <= other <= self.hi + tol
+
+    # -- lattice ------------------------------------------------------------
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Meet; if disjoint, collapses to the nearest point of ``other``.
+
+        Disjointness arises when a clamp (quantization window, clip bounds)
+        provably saturates: every concrete value then sits *at* the clamp
+        boundary, which is exactly the collapsed point.
+        """
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            edge = other.hi if self.lo > other.hi else other.lo
+            return Interval(edge, edge)
+        return Interval(lo, hi)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def shift(self, c: float) -> "Interval":
+        return Interval(self.lo + c, self.hi + c)
+
+    def scale(self, k: float) -> "Interval":
+        a, b = _lo_hi(self.lo * k, self.hi * k)
+        return Interval(a, b)
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = [
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        ]
+        corners = [0.0 if math.isnan(c) else c for c in corners]  # 0 * inf
+        return Interval(min(corners), max(corners))
+
+    def clip(self, lo: float, hi: float) -> "Interval":
+        return Interval(
+            min(max(self.lo, lo), hi), min(max(self.hi, lo), hi))
+
+    def widen(self, delta: float) -> "Interval":
+        """Outward widening by an absolute margin (rounding slack)."""
+        return Interval(self.lo - delta, self.hi + delta)
+
+    def pad_f32(self) -> "Interval":
+        """Outward pad covering elementwise float32 rounding of any member."""
+        return Interval(
+            self.lo - abs(self.lo) * _F32_REL - _F32_ABS,
+            self.hi + abs(self.hi) * _F32_REL + _F32_ABS,
+        )
+
+    def to_dict(self) -> dict:
+        return {"lo": self.lo, "hi": self.hi}
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:.6g}, {self.hi:.6g}]"
+
+
+def dot_error_bound(k: int, magnitude: float) -> float:
+    """Bound on |float32 dot − exact dot| for a length-``k`` reduction.
+
+    Standard forward-error bound: ``|fl(Σ a_i) − Σ a_i| ≤ γ_k · Σ|a_i|``
+    with ``γ_k = k·u / (1 − k·u)``, ``u = 2⁻²⁴``. ``magnitude`` must be an
+    upper bound on ``Σ|a_i|`` (sum of absolute products plus |bias|).
+    """
+    if k <= 0 or magnitude == 0.0:
+        return 0.0
+    ku = (k + 1) * 2.0 ** -24
+    if ku >= 0.5:  # absurdly long reduction; stay sound
+        return magnitude
+    return magnitude * ku / (1.0 - ku) + _F32_ABS
+
+
+# -- activation transfers ----------------------------------------------------
+#
+# Each transfer mirrors the float kernel in kernels.activations. Monotone
+# functions evaluate endpoints; non-monotone ones add their interior
+# stationary points. All results are padded for float32 rounding.
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+def _hard_sigmoid(x: float) -> float:
+    return min(max(x + 3.0, 0.0), 6.0) / 6.0
+
+
+def _hard_swish(x: float) -> float:
+    if x <= -3.0:  # also avoids -inf * 0 = nan at the unbounded endpoint
+        return 0.0
+    return x * _hard_sigmoid(x)
+
+
+def _gelu(x: float) -> float:
+    # saturation guards: keep endpoints finite-math safe (x**3 overflows for
+    # huge |x|, and ±inf would produce inf*0 = nan). The asymptotic values are
+    # within pad_f32's relative/absolute slack of the true ones.
+    if x >= 30.0:
+        return x
+    if x <= -12.0:
+        return 0.0
+    inner = math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)
+    return 0.5 * x * (1.0 + math.tanh(inner))
+
+
+def _monotone(fn):
+    def transfer(iv: Interval) -> Interval:
+        return Interval.of(fn(iv.lo), fn(iv.hi)).pad_f32()
+    return transfer
+
+
+def _with_stationary_points(fn, points: tuple[float, ...]):
+    """Transfer for a piecewise-smooth ``fn`` with known interior extrema."""
+    def transfer(iv: Interval) -> Interval:
+        candidates = [fn(iv.lo), fn(iv.hi)]
+        for p in points:
+            if iv.lo < p < iv.hi:
+                candidates.append(fn(p))
+        return Interval.of(*candidates).pad_f32()
+    return transfer
+
+
+def _relu(iv: Interval) -> Interval:
+    return Interval(max(iv.lo, 0.0), max(iv.hi, 0.0))
+
+
+def _relu6(iv: Interval) -> Interval:
+    return iv.clip(0.0, 6.0)
+
+
+def _sigmoid_t(iv: Interval) -> Interval:
+    return Interval.of(_sigmoid(iv.lo), _sigmoid(iv.hi)).pad_f32().clip(0.0, 1.0)
+
+
+def _tanh_t(iv: Interval) -> Interval:
+    return Interval.of(math.tanh(iv.lo), math.tanh(iv.hi)).pad_f32().clip(-1.0, 1.0)
+
+
+# hard_swish: f(x) = x·clip(x+3,0,6)/6 has its single interior minimum at
+# x = −1.5 (f = −0.375); gelu (tanh form) has its minimum near x ≈ −0.7518
+# (f ≈ −0.17). Both stationary points are included explicitly, with the gelu
+# point bracketed generously because the tanh approximation shifts it.
+ACTIVATION_TRANSFERS = {
+    "relu": _relu,
+    "relu6": _relu6,
+    "hard_sigmoid": _monotone(_hard_sigmoid),
+    "hard_swish": _with_stationary_points(_hard_swish, (-3.0, -1.5)),
+    "sigmoid": _sigmoid_t,
+    "tanh": _tanh_t,
+    "gelu": _with_stationary_points(_gelu, (-0.8, -0.7518, -0.7, -2.0)),
+}
+
+
+def activation_transfer(kind: str | None, iv: Interval) -> Interval:
+    """Apply an activation's interval transfer; identity when ``kind`` is None."""
+    if kind is None:
+        return iv
+    return ACTIVATION_TRANSFERS[kind](iv)

@@ -41,12 +41,7 @@ _ADD_SCALE_RATIO = 64.0
 
 def _real_range(qp: QuantParams) -> tuple[float, float]:
     """The representable real-value interval of a quantized domain."""
-    qmin, qmax = qp.numerics.qmin, qp.numerics.qmax
-    scale = float(np.max(qp.scale))
-    zp = qp.zero_point.astype(np.float64)
-    lo = float(np.min((qmin - zp) * qp.scale))
-    hi = float(np.max((qmax - zp) * qp.scale))
-    return min(lo, hi), max(lo, hi)
+    return qp.representable_range()
 
 
 def _reduction_size(op, graph: Graph) -> int:
@@ -60,7 +55,8 @@ def _reduction_size(op, graph: Graph) -> int:
     return w_shape[0]  # fully connected: (in, out)
 
 
-def accumulator_bound(op, graph: Graph) -> int:
+def accumulator_bound(op, graph: Graph,
+                      x_interval: tuple[int, int] | None = None) -> int:
     """Worst-case |int32 accumulator| for one integer-kernel op.
 
     Uses the actual quantized weights when materialized (interval arithmetic
@@ -68,11 +64,19 @@ def accumulator_bound(op, graph: Graph) -> int:
     covers both the mathematical accumulator and the zero-point-corrected
     decomposition (raw dot + zx*colsum correction) that real integer kernels
     evaluate, whose intermediate terms can be larger.
+
+    ``x_interval`` optionally narrows the input codes from the format's full
+    ``[qmin, qmax]`` to a proven integer interval (the range engine's VR001
+    tightening); it is intersected with the format window, so the result
+    never exceeds the format-worst-case bound.
     """
     x_qp = graph.spec(op.inputs[0]).qparams
     w_qp = graph.param_qparams.get(op.attrs["weight"])
     x_num = x_qp.numerics if x_qp is not None else graph.numerics
     x_lo, x_hi = x_num.qmin, x_num.qmax
+    if x_interval is not None:
+        x_lo = min(max(int(x_interval[0]), x_lo), x_hi)
+        x_hi = max(min(int(x_interval[1]), x_hi), x_lo)
     zx = int(x_qp.zero_point[0]) if x_qp is not None else 0
     x_dev = max(abs(x_hi - zx), abs(zx - x_lo))  # max |x_q - zx|
     x_raw = max(abs(x_lo), abs(x_hi))            # max |x_q|

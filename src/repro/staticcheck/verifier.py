@@ -22,6 +22,7 @@ from .quantcheck import check_quantization
 
 __all__ = [
     "ALL_FAMILIES",
+    "KNOWN_FAMILIES",
     "verify_graph",
     "attest",
     "attestation_problems",
@@ -30,6 +31,11 @@ __all__ = [
 ]
 
 ALL_FAMILIES = ("dataflow", "quantization", "placement", "plan")
+
+# the value-range engine is opt-in (``--ranges``): its VR findings are gated
+# separately in CI against a checked-in baseline rather than folded into the
+# always-clean default sweep
+KNOWN_FAMILIES = ALL_FAMILIES + ("ranges",)
 
 # families cheap enough to run inline on every export (plan compilation
 # prepacks weights, so the export path leaves it to the CLI/tests)
@@ -43,7 +49,7 @@ def verify_graph(
     baseline: Baseline | None = None,
 ) -> Report:
     """Run the requested analyzer families over one graph."""
-    unknown = set(families) - set(ALL_FAMILIES)
+    unknown = set(families) - set(KNOWN_FAMILIES)
     if unknown:
         raise ValueError(f"unknown analyzer families {sorted(unknown)}")
     report = Report(f"{graph.name}[{graph.numerics.value}]")
@@ -61,6 +67,12 @@ def verify_graph(
         plan = ExecutionPlan.for_graph(graph)
         report.extend(check_plan(plan))
         report.metrics["plan"] = plan.describe()
+    if "ranges" in families:
+        from .ranges import check_ranges
+
+        findings, metrics = check_ranges(graph)
+        report.extend(findings)
+        report.metrics["ranges"] = metrics
     report.apply_baseline(baseline)
     return report
 

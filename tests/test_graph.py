@@ -24,6 +24,19 @@ class TestTensorSpec:
     def test_with_batch(self):
         assert TensorSpec("t", (-1, 2)).with_batch(5) == (5, 2)
 
+    def test_domain_coerced_to_floats(self):
+        spec = TensorSpec("t", (-1, 2), domain=(0, 255))
+        assert spec.domain == (0.0, 255.0)
+        assert all(isinstance(v, float) for v in spec.domain)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty input domain"):
+            TensorSpec("t", (-1, 2), domain=(1.0, -1.0))
+
+    def test_domain_survives_copy(self):
+        spec = TensorSpec("t", (-1, 2), domain=(-1.0, 1.0))
+        assert spec.copy().domain == (-1.0, 1.0)
+
 
 class TestGraphConstruction:
     def test_duplicate_input(self):
@@ -66,7 +79,7 @@ class TestGraphConstruction:
         b = GraphBuilder("g2", seed=0)
         x = b.input("x", (-1, 4, 4, 3))
         h = b.conv(x, 4)
-        dead = b.conv(h, 4)
+        _dead = b.conv(h, 4)
         used = b.conv(h, 2)
         b.outputs(used)
         with pytest.raises(GraphValidationError):

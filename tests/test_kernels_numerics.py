@@ -95,6 +95,13 @@ class TestRoundTrips:
         rt = dequantize(quantize(arr, qp), qp)
         assert np.all(np.abs(rt - arr) <= qp.scale[0] * 0.51 + 1e-9)
 
+    def test_subnormal_range_yields_positive_scale(self):
+        # a subnormal span must not underflow the scale division to 0.0
+        for numerics in (Numerics.INT8, Numerics.UINT8):
+            for symmetric in (False, True):
+                qp = choose_qparams(0.0, 5e-324, numerics, symmetric=symmetric)
+                assert qp.scale[0] > 0
+
     @given(st.lists(st.floats(-10, 10), min_size=1, max_size=32))
     @settings(max_examples=40, deadline=None)
     def test_fake_quant_idempotent(self, values):

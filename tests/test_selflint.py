@@ -58,6 +58,82 @@ def test_sl003_allowed_in_calibration_code():
     assert selflint.lint_source(src, "src/repro/quantization/observers.py") == []
 
 
+def test_sl004_unseeded_global_randomness():
+    src = (
+        "import random\nimport numpy as np\n"
+        "a = random.random()\n"
+        "b = np.random.rand(3)\n"
+        "c = numpy.random.normal(0, 1)\n"
+        "rng = np.random.default_rng()\n"
+    )
+    violations = selflint.lint_source(src)
+    assert _ids(violations) == ["SL004"] * 4
+    assert "default_rng(seed)" in violations[0].message
+
+
+def test_sl004_silent_on_seeded_generator():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "rng2 = np.random.default_rng(seed=7)\n"
+        "x = rng.normal(0, 1)\n"
+    )
+    assert selflint.lint_source(src) == []
+
+
+def test_sl005_dead_local_assignment():
+    src = (
+        "def f(x):\n"
+        "    unused = x + 1\n"
+        "    y = x * 2\n"
+        "    return y\n"
+    )
+    violations = selflint.lint_source(src)
+    assert _ids(violations) == ["SL005"]
+    assert violations[0].line == 2
+    assert "'unused'" in violations[0].message
+
+
+def test_sl005_underscore_prefix_opts_out():
+    src = "def f(x):\n    _scratch = x + 1\n    return x\n"
+    assert selflint.lint_source(src) == []
+
+
+def test_sl005_closure_read_counts_as_use():
+    src = (
+        "def f(x):\n"
+        "    captured = x + 1\n"
+        "    def inner():\n"
+        "        return captured\n"
+        "    return inner\n"
+    )
+    assert selflint.lint_source(src) == []
+
+
+def test_sl005_nested_function_locals_not_attributed_to_outer():
+    src = (
+        "def outer(x):\n"
+        "    def inner(y):\n"
+        "        dead = y + 1\n"
+        "        return y\n"
+        "    return inner(x)\n"
+    )
+    violations = selflint.lint_source(src)
+    assert [(v.rule_id, v.line) for v in violations] == [("SL005", 3)]
+    assert "inner()" in violations[0].message
+
+
+def test_sl005_globals_and_tuple_unpacking_exempt():
+    src = (
+        "def f(x):\n"
+        "    global counter\n"
+        "    counter = x\n"
+        "    a, b = x, x + 1\n"
+        "    return a + b\n"
+    )
+    assert selflint.lint_source(src) == []
+
+
 def test_sl000_syntax_error():
     violations = selflint.lint_source("def broken(:\n")
     assert _ids(violations) == ["SL000"]

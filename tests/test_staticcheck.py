@@ -12,7 +12,7 @@ import pytest
 from conftest import build_toy_graph
 from repro.backends.vendors import BACKEND_FACTORIES
 from repro.core.export import validate_package
-from repro.graph import export_mobile
+from repro.graph import GraphBuilder, export_mobile
 from repro.graph.graph import Graph, GraphValidationError
 from repro.graph.ops import (
     Activation,
@@ -32,10 +32,13 @@ from repro.hardware.soc import SOC_CATALOG
 from repro.kernels.numerics import Numerics, QuantParams
 from repro.models import available_models, create_reference_model
 from repro.staticcheck import (
+    ALL_FAMILIES,
+    KNOWN_FAMILIES,
     RULE_CATALOG,
     RULESET_VERSION,
     Baseline,
     Finding,
+    Interval,
     Report,
     Severity,
     accumulator_bound,
@@ -45,11 +48,16 @@ from repro.staticcheck import (
     check_placement,
     check_plan,
     check_quantization,
+    check_ranges,
     independent_shapes,
+    infer_graph_ranges,
+    input_intervals,
+    observed_ranges,
     predict_op_targets,
     predict_placement,
     sweep_zoo,
     verify_graph,
+    zoo_deployments,
 )
 from repro.staticcheck.__main__ import main as staticcheck_main
 
@@ -468,10 +476,356 @@ def test_pl006_read_of_undefined_tensor():
     assert any(f.rule_id == "PL006" and f.tensor == "phantom" for f in findings)
 
 
+# ---------------------------------------------------------------------------
+# value-range rules VR001-VR006: one seeded-broken graph each
+# ---------------------------------------------------------------------------
+
+def _vr_range_aware_overflow():
+    """The QS001 graph, but with a declared input domain wide enough that
+    even the range-restricted accumulator provably exceeds int32."""
+    g = _qs_overflow()
+    g.inputs[0].domain = (0.0, 255.0)
+    return g
+
+
+def _vr_requant_clipping():
+    # the FC's proven output interval reaches -4.1, but the uint8 output
+    # qparams (zp=0) cannot represent anything negative: requantization clips
+    return _qs_small_fc()
+
+
+def _vr_uncovered_calibration():
+    g = _qs_small_fc()
+    g.metadata["quantization"] = {"calibration_ranges": {"y": [0.0, 0.1]}}
+    return g
+
+
+def _vr_fp16_overflow():
+    g = Graph("vr_fp16_overflow")
+    g.numerics = Numerics.FP16
+    g.add_input(TensorSpec("x", (-1, 16), Numerics.FP16, domain=(-100.0, 100.0)))
+    g.add_param("w", np.full((16, 64), 50.0, np.float32))
+    _wire(g, FullyConnected("fc", ["x"], ["y"], weight="w"), [(-1, 64)],
+          numerics=Numerics.FP16)
+    g.output_names = ["y"]
+    return g
+
+
+def _vr_fp16_denormal():
+    g = Graph("vr_fp16_denormal")
+    g.numerics = Numerics.FP16
+    g.add_input(TensorSpec("x", (-1, 16), Numerics.FP16, domain=(-1e-3, 1e-3)))
+    g.add_param("w", np.full((16, 4), 1e-6, np.float32))
+    _wire(g, FullyConnected("fc", ["x"], ["y"], weight="w"), [(-1, 4)],
+          numerics=Numerics.FP16)
+    g.output_names = ["y"]
+    return g
+
+
+def _vr_dead_activation():
+    g = Graph("vr_dead")
+    g.add_input(TensorSpec("x", (-1, 8), domain=(-5.0, -1.0)))
+    _wire(g, _relu("a", "x", "y"), [(-1, 8)])
+    g.output_names = ["y"]
+    return g
+
+
+RANGE_BREAKERS = {
+    "VR001": _vr_range_aware_overflow,
+    "VR002": _vr_requant_clipping,
+    "VR003": _vr_uncovered_calibration,
+    "VR004": _vr_fp16_overflow,
+    "VR005": _vr_fp16_denormal,
+    "VR006": _vr_dead_activation,
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(RANGE_BREAKERS))
+def test_range_rule_fires(rule_id):
+    findings, _metrics = check_ranges(RANGE_BREAKERS[rule_id]())
+    assert rule_id in _ids(findings)
+    hit = next(f for f in findings if f.rule_id == rule_id)
+    assert hit.severity is RULE_CATALOG[rule_id].severity
+
+
+def test_vr001_needs_the_declared_domain():
+    """Without the wide domain, the range-aware accumulator proof clears the
+    very graph QS001 condemns — the whole point of the tightening."""
+    findings, _ = check_ranges(_qs_overflow())
+    assert "VR001" not in _ids(findings)
+    assert "QS001" in _ids(check_quantization(_qs_overflow()))
+
+
+def test_range_aware_accumulator_bound_never_exceeds_format_bound():
+    g = _qs_overflow()
+    op = g.ops[0]
+    fmt = accumulator_bound(g.ops[0], g)
+    assert accumulator_bound(op, g, (0, 9)) <= fmt
+    assert accumulator_bound(op, g, (0, 9)) < fmt  # strictly tighter here
+    assert accumulator_bound(op, g, (0, 255)) == fmt
+
+
+def test_input_intervals_precedence():
+    g = Graph("seeds")
+    g.add_input(TensorSpec("a", (-1, 4), domain=(-1.0, 1.0)))
+    g.add_input(TensorSpec("m", (-1, 4), role="mask"))
+    g.add_input(TensorSpec("d", (-1, 4)))
+    seeds = input_intervals(g, overrides={"a": (0.0, 0.5)})
+    assert seeds["a"] == Interval(0.0, 0.5)      # override beats domain
+    assert seeds["m"] == Interval(0.0, 1.0)      # role default
+    assert seeds["d"] == Interval(-8.0, 8.0)     # DEFAULT_DATA_DOMAIN
+    assert input_intervals(g)["a"] == Interval(-1.0, 1.0)
+
+
+def test_quantized_storage_clips_to_representable_window():
+    an = infer_graph_ranges(_qs_small_fc())
+    x = an.intervals["x"]  # scale 0.05, zp 128: representable [-6.4, 6.35]
+    assert -6.5 <= x.lo and x.hi <= 6.4
+    assert an.pre_storage["x"] == Interval(-8.0, 8.0)
+
+
 def test_every_catalog_rule_has_a_breaker_test():
     covered = (set(DATAFLOW_BREAKERS) | set(QUANT_BREAKERS)
-               | PLACEMENT_RULES | PLAN_RULES)
+               | PLACEMENT_RULES | PLAN_RULES | set(RANGE_BREAKERS))
     assert covered == set(RULE_CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# transfer-function soundness: per-op property fuzz + the zoo x numerics
+# matrix, observed concrete ranges vs proven intervals
+# ---------------------------------------------------------------------------
+
+def _fz_image(name, ch=4, lo=-2.0, hi=2.0):
+    b = GraphBuilder(name, seed=5)
+    return b, b.input("x", (-1, 8, 8, ch), domain=(lo, hi))
+
+
+def _fz_conv():
+    b, x = _fz_image("fz_conv")
+    b.outputs(b.conv(x, 8, activation="relu"))
+    return b.build()
+
+
+def _fz_dwconv():
+    b, x = _fz_image("fz_dwconv")
+    b.outputs(b.dwconv(x, activation="relu6"))
+    return b.build()
+
+
+def _fz_fc():
+    b = GraphBuilder("fz_fc", seed=5)
+    x = b.input("x", (-1, 16), domain=(-3.0, 3.0))
+    b.outputs(b.fc(x, 8))
+    return b.build()
+
+
+def _fz_avg_pool():
+    b, x = _fz_image("fz_avgpool")
+    b.outputs(b.avg_pool(x, 2))
+    return b.build()
+
+
+def _fz_max_pool():
+    b, x = _fz_image("fz_maxpool")
+    b.outputs(b.max_pool(x, 2))
+    return b.build()
+
+
+def _fz_global_pool():
+    b, x = _fz_image("fz_gap")
+    b.outputs(b.global_pool(x))
+    return b.build()
+
+
+def _fz_resize():
+    b, x = _fz_image("fz_resize")
+    b.outputs(b.resize(x, 16, 16))
+    return b.build()
+
+
+def _fz_add():
+    b, x = _fz_image("fz_add")
+    b.outputs(b.add(b.conv(x, 4, name="c1"), b.conv(x, 4, name="c2"),
+                    activation="relu"))
+    return b.build()
+
+
+def _fz_concat():
+    b, x = _fz_image("fz_concat")
+    b.outputs(b.concat([b.conv(x, 4, name="c1"), b.conv(x, 4, name="c2")]))
+    return b.build()
+
+
+def _fz_activation():
+    # one branch per transfer-table kind, all from the same signed input
+    b = GraphBuilder("fz_act", seed=5)
+    x = b.input("x", (-1, 16), domain=(-6.0, 6.0))
+    kinds = ("relu", "relu6", "hard_sigmoid", "hard_swish", "sigmoid",
+             "tanh", "gelu")
+    b.outputs(*[b.activation(x, k, name=f"a_{k}") for k in kinds])
+    return b.build()
+
+
+def _fz_softmax():
+    b = GraphBuilder("fz_softmax", seed=5)
+    x = b.input("x", (-1, 16), domain=(-4.0, 4.0))
+    b.outputs(b.softmax(x))
+    return b.build()
+
+
+def _fz_reshape():
+    b, x = _fz_image("fz_reshape")
+    b.outputs(b.reshape(x, (-1, 256)))
+    return b.build()
+
+
+def _fz_batch_norm():
+    b, x = _fz_image("fz_bn")
+    b.outputs(b.conv(x, 8, use_bn=True, activation="relu"))
+    return b.build()
+
+
+def _fz_layer_norm():
+    b = GraphBuilder("fz_ln", seed=5)
+    x = b.input("x", (-1, 4, 16), domain=(-2.0, 2.0))
+    b.outputs(b.layer_norm(x))
+    return b.build()
+
+
+def _fz_attention():
+    b = GraphBuilder("fz_attn", seed=5)
+    x = b.input("x", (-1, 4, 16), domain=(-1.0, 1.0))
+    b.outputs(b.attention(x, x, x, num_heads=2))
+    return b.build()
+
+
+def _fz_embedding():
+    b = GraphBuilder("fz_embed", seed=5)
+    ids = b.input("ids", (-1, 6), role="ids")
+    b.outputs(b.embedding(ids, vocab=30, dim=8, max_positions=6))
+    return b.build()
+
+
+def _fz_split():
+    b, x = _fz_image("fz_split")
+    b.outputs(*b.split(x, 2))
+    return b.build()
+
+
+def _fz_lstm():
+    b = GraphBuilder("fz_lstm", seed=5)
+    x = b.input("x", (-1, 5, 8), domain=(-2.0, 2.0))
+    b.outputs(b.lstm(x, 8))
+    return b.build()
+
+
+def _fz_depth_to_space():
+    b, x = _fz_image("fz_d2s", ch=8)
+    b.outputs(b.depth_to_space(x, 2))
+    return b.build()
+
+
+FUZZ_BUILDERS = {
+    "conv2d": _fz_conv,
+    "depthwise_conv2d": _fz_dwconv,
+    "fully_connected": _fz_fc,
+    "avg_pool2d": _fz_avg_pool,
+    "max_pool2d": _fz_max_pool,
+    "global_avg_pool": _fz_global_pool,
+    "resize_bilinear": _fz_resize,
+    "add": _fz_add,
+    "concat": _fz_concat,
+    "activation": _fz_activation,
+    "softmax": _fz_softmax,
+    "reshape": _fz_reshape,
+    "batch_norm": _fz_batch_norm,
+    "layer_norm": _fz_layer_norm,
+    "attention": _fz_attention,
+    "embedding": _fz_embedding,
+    "split": _fz_split,
+    "lstm": _fz_lstm,
+    "depth_to_space": _fz_depth_to_space,
+}
+
+
+def _domain_feeds(graph, rng, batch=2):
+    feeds = {}
+    for spec in graph.inputs:
+        shape = spec.with_batch(batch)
+        if spec.role == "ids":
+            feeds[spec.name] = rng.integers(0, 28, size=shape).astype(np.float32)
+        elif spec.role == "mask":
+            feeds[spec.name] = np.ones(shape, dtype=np.float32)
+        else:
+            lo, hi = spec.domain if spec.domain else (-8.0, 8.0)
+            feeds[spec.name] = np.clip(
+                rng.normal(0, 0.5 * max(abs(lo), abs(hi)), size=shape), lo, hi
+            ).astype(np.float32)
+    return feeds
+
+
+def _assert_observed_within_proven(graph, analysis, feeds_seq):
+    obs = observed_ranges(graph, feeds_seq)
+    bad = [(n, o, analysis.intervals[n]) for n, o in obs.items()
+           if n in analysis.intervals
+           and not (analysis.intervals[n].lo <= o[0]
+                    and o[1] <= analysis.intervals[n].hi)]
+    assert bad == []
+
+
+@pytest.mark.parametrize("op_type", sorted(FUZZ_BUILDERS))
+def test_transfer_function_soundness_fuzz(op_type):
+    """Property fuzz: for seeded random feeds inside the declared input
+    domain, every concrete tensor value lies inside the proven interval."""
+    g = FUZZ_BUILDERS[op_type]()
+    assert any(op.op_type == op_type for op in g.ops)
+    analysis = infer_graph_ranges(g)
+    rng = np.random.default_rng(11)
+    feeds_seq = [_domain_feeds(g, rng) for _ in range(4)]
+    _assert_observed_within_proven(g, analysis, feeds_seq)
+
+
+def test_fuzz_covers_every_range_transfer():
+    """Every op class with its own ``infer_ranges`` has a fuzz case."""
+    def subclasses(c):
+        for s in c.__subclasses__():
+            yield s
+            yield from subclasses(s)
+
+    overriding = {c.op_type for c in subclasses(Op)
+                  if "infer_ranges" in c.__dict__}
+    exercised = {op.op_type for t in FUZZ_BUILDERS for op in FUZZ_BUILDERS[t]().ops}
+    assert overriding <= exercised
+
+
+@pytest.mark.parametrize("model", available_models())
+def test_zoo_observed_ranges_within_proven(model):
+    """The soundness invariant across the deployment matrix: for every zoo
+    model x {fp32, fp16, int8, uint8}, instrumented execution stays inside
+    the proven intervals, and the range-aware accumulator bound never
+    exceeds the format worst case."""
+    modes = (Numerics.FP32, Numerics.FP16, Numerics.INT8, Numerics.UINT8)
+    for numerics, graph in zoo_deployments(model, modes):
+        analysis = infer_graph_ranges(graph)
+        rng = np.random.default_rng(1)
+        _assert_observed_within_proven(graph, analysis, [_domain_feeds(graph, rng)])
+        for name, bounds in analysis.acc_bounds.items():
+            assert bounds["range_aware"] <= bounds["format"], (model, numerics, name)
+
+
+def test_ranges_family_is_opt_in():
+    assert "ranges" not in ALL_FAMILIES
+    assert "ranges" in KNOWN_FAMILIES
+
+
+def test_verify_graph_with_ranges_family_reports_metrics():
+    graph, _ = build_toy_graph()
+    report = verify_graph(export_mobile(graph),
+                          families=("dataflow", "ranges"))
+    metrics = report.metrics["ranges"]
+    assert metrics["tensors"] == metrics["bounded"] > 0
+    assert metrics["tensors"] == len(metrics["intervals"])
+    assert all(len(v) == 2 for v in metrics["intervals"].values())
 
 
 # ---------------------------------------------------------------------------
@@ -676,6 +1030,26 @@ def test_cli_single_model_json(capsys):
     assert payload["exit_code"] == 0
     assert payload["ruleset"] == RULESET_VERSION
     assert payload["reports"][0]["subject"].endswith("[fp32]")
+
+
+def test_cli_ranges_flag_appends_family(capsys):
+    rc = staticcheck_main(["mobile_streaming_asr", "--numerics", "fp32",
+                           "--ranges", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0  # fp32 zoo deployments carry no VR findings
+    assert "ranges" in payload["families"]
+    assert set(payload["families"]) == set(ALL_FAMILIES) | {"ranges"}
+
+
+def test_cli_ranges_baseline_roundtrip(tmp_path, capsys):
+    """The ci.sh contract: the int8 VR findings gate until baselined."""
+    args = ["mobile_streaming_asr", "--numerics", "int8", "--ranges"]
+    assert staticcheck_main(args) == 1  # VR002 warnings gate by default
+    path = tmp_path / "vr_known.json"
+    assert staticcheck_main(args + ["--write-baseline", str(path)]) == 0
+    assert json.loads(path.read_text())  # non-empty suppression file
+    assert staticcheck_main(args + ["--baseline", str(path)]) == 0
+    capsys.readouterr()
 
 
 def test_cli_rejects_unknown_model(capsys):

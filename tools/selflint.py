@@ -14,6 +14,14 @@ SL003  interpolated ``np.percentile`` on a latency path — MLPerf latency
        ``repro.loadgen.scenarios.percentile_latency``. Calibration code
        (quantization/) legitimately interpolates activation ranges and is
        out of scope.
+SL004  unseeded global randomness — ``np.random.*`` / ``random.*`` module
+       calls (and ``default_rng()`` with no seed) draw from hidden global or
+       OS-entropy state, so latency/accuracy runs stop being reproducible.
+       Use an explicitly seeded ``np.random.default_rng(seed)`` Generator.
+SL005  dead local assignment — a plain local is assigned once and never
+       read anywhere in the function: either a bug (the intended use was
+       dropped in a refactor) or noise. Prefix with ``_`` when the
+       assignment is intentional (e.g. tuple unpacking).
 
 Usage: ``python tools/selflint.py [paths...]`` (defaults to src/ and tests/);
 exits 1 when any finding fires. ``lint_source`` is the testable core API.
@@ -62,6 +70,68 @@ def _on_latency_path(path: str) -> bool:
     return any(p in LATENCY_PATHS for p in parts)
 
 
+def _global_random_call(node: ast.Call) -> str | None:
+    """The dotted name of an unseeded global-randomness call, if this is one.
+
+    Matches ``random.<fn>(...)`` and ``np.random.<fn>(...)`` /
+    ``numpy.random.<fn>(...)``; ``default_rng`` is exempt when given an
+    explicit seed argument (that is the sanctioned Generator construction).
+    """
+    fn = node.func
+    if not isinstance(fn, ast.Attribute):
+        return None
+    base = fn.value
+    if isinstance(base, ast.Name) and base.id == "random":
+        return f"random.{fn.attr}"
+    if (isinstance(base, ast.Attribute) and base.attr == "random"
+            and isinstance(base.value, ast.Name) and base.value.id in ("np", "numpy")):
+        if fn.attr == "default_rng" and (node.args or node.keywords):
+            return None  # explicitly seeded Generator: the sanctioned form
+        return f"{base.value.id}.random.{fn.attr}"
+    return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _walk_same_scope(node: ast.AST):
+    """Yield descendants of ``node`` without entering nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _dead_local_assignments(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """``(name, lineno)`` of locals assigned in ``fn`` but never read.
+
+    Candidates are plain single-``Name`` assignments in the function's own
+    scope (not nested defs); a name counts as read if it is loaded anywhere
+    inside the function *including* nested scopes (closures). ``_``-prefixed
+    names and ``global``/``nonlocal`` declarations are exempt.
+    """
+    declared_elsewhere: set[str] = set()
+    candidates: dict[str, int] = {}
+    for node in _walk_same_scope(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_elsewhere.update(node.names)
+        elif (isinstance(node, ast.Assign) and len(node.targets) == 1
+              and isinstance(node.targets[0], ast.Name)
+              and not node.targets[0].id.startswith("_")):
+            name = node.targets[0].id
+            if name not in candidates:
+                candidates[name] = node.lineno
+    loaded = {
+        node.id for node in ast.walk(fn)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+    return [(name, line) for name, line in candidates.items()
+            if name not in loaded and name not in declared_elsewhere]
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Violation]:
     """Lint one module's source text; ``path`` decides path-scoped rules."""
     out: list[Violation] = []
@@ -81,6 +151,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Violation]:
                         "SL001", path, d.lineno,
                         f"mutable default argument in {node.name}(); the object "
                         f"is created once and shared across calls"))
+            for name, line in _dead_local_assignments(node):
+                out.append(Violation(
+                    "SL005", path, line,
+                    f"local '{name}' in {node.name}() is assigned but never "
+                    f"read; delete it or prefix with '_' if intentional"))
         elif isinstance(node, ast.ExceptHandler) and node.type is None:
             out.append(Violation(
                 "SL002", path, node.lineno,
@@ -94,6 +169,13 @@ def lint_source(source: str, path: str = "<string>") -> list[Violation]:
                 "SL003", path, node.lineno,
                 "interpolated percentile on a latency path; use the "
                 "nearest-rank percentile_latency (MLPerf statistic)"))
+        elif isinstance(node, ast.Call):
+            dotted = _global_random_call(node)
+            if dotted is not None:
+                out.append(Violation(
+                    "SL004", path, node.lineno,
+                    f"unseeded global randomness '{dotted}(...)'; use an "
+                    f"explicitly seeded np.random.default_rng(seed)"))
     return sorted(out, key=lambda v: (v.path, v.line, v.rule_id))
 
 
