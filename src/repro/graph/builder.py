@@ -327,6 +327,30 @@ class GraphBuilder:
         )
         return out
 
+    def constant(self, value: np.ndarray, name: str | None = None) -> str:
+        """Materialize ``value`` as a tensor with a broadcast batch dim."""
+        name = name or self._fresh("const")
+        value = np.asarray(value, dtype=np.float32)
+        self.graph.add_param(f"{name}/value", value)
+        out = f"{name}/out"
+        self.graph.add_op(O.Constant(name, [], [out], value=f"{name}/value"))
+        return out
+
+    def pad(
+        self,
+        x: str,
+        pads_h: tuple[int, int],
+        pads_w: tuple[int, int],
+        value: float = 0.0,
+        name: str | None = None,
+    ) -> str:
+        name = name or self._fresh("pad")
+        out = f"{name}/out"
+        self.graph.add_op(
+            O.Pad(name, [x], [out], pads_h=tuple(pads_h), pads_w=tuple(pads_w), value=value)
+        )
+        return out
+
     def depth_to_space(self, x: str, block: int, name: str | None = None) -> str:
         name = name or self._fresh("d2s")
         out = f"{name}/out"

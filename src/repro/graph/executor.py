@@ -54,6 +54,15 @@ class Executor:
         """
         return self.plan.run(feeds, observer=observer, profiler=profiler)
 
+    def run_arena(
+        self,
+        feeds: dict[str, np.ndarray],
+        profiler: ExecutionProfiler | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute through the plan's static memory arena (bit-identical to
+        :meth:`run`; zero transient output allocations once warmed up)."""
+        return self.plan.run_arena(feeds, profiler=profiler)
+
     def run_unplanned(
         self,
         feeds: dict[str, np.ndarray],

@@ -61,6 +61,8 @@ __all__ = [
     "Split",
     "LSTM",
     "DepthToSpace",
+    "Constant",
+    "Pad",
     "ACTIVATION_FUNCTIONS",
 ]
 
@@ -122,6 +124,18 @@ def _real_param(graph: "Graph", name: str) -> np.ndarray | None:
     if qp is not None:
         return dequantize(arr, qp).astype(np.float64)
     return np.asarray(arr, dtype=np.float64)
+
+
+def _qparams_equal(a: QuantParams | None, b: QuantParams | None) -> bool:
+    """True when two quantization params describe the identical affine map."""
+    if a is None or b is None:
+        return a is b
+    return (
+        a.numerics is b.numerics
+        and a.axis == b.axis
+        and np.array_equal(a.scale, b.scale)
+        and np.array_equal(a.zero_point, b.zero_point)
+    )
 
 
 def _reduction_interval(
@@ -859,6 +873,118 @@ class LSTM(Op):
     def infer_ranges(self, in_ranges, in_shapes, graph):
         # h_t = o_t · tanh(c_t) with o_t ∈ (0, 1), tanh ∈ (−1, 1)
         return [_iv().Interval(-1.0, 1.0)]
+
+
+class Constant(Op):
+    """Materialize a parameter as a tensor (leading broadcast dim of 1).
+
+    The optimizer's constant-folding pass replaces fully-constant subgraphs
+    with these. With ``raw=True`` the stored parameter already holds the
+    *runtime representation* (quantized codes in quantized graphs, fp16-cast
+    floats in FP16 graphs) and is emitted verbatim — that is what makes
+    folding bit-exact by construction. With ``raw=False`` the parameter is a
+    real-valued array quantized on the way out like any other tensor.
+
+    The output shape carries a symbolic batch dim (-1) and the value
+    broadcasts along it; consumers that do not broadcast over the batch
+    (e.g. concat along axis 0) must not be fed a Constant.
+    """
+
+    op_type = "constant"
+
+    def param_names(self) -> list[str]:
+        return [self.attrs["value"]]
+
+    def infer_shapes(self, in_shapes, graph):
+        if in_shapes:
+            raise ShapeError(self, "constant takes no inputs", in_shapes)
+        return [(-1,) + graph.param_shape(self.attrs["value"])]
+
+    def execute_float(self, inputs, graph):
+        v = graph.params[self.attrs["value"]]
+        if self.attrs.get("raw"):
+            return [np.asarray(v)[None]]
+        return [np.asarray(v, dtype=np.float32)[None]]
+
+    def execute_quantized(self, inputs, graph):
+        v = graph.params[self.attrs["value"]]
+        if self.attrs.get("raw"):
+            return [np.asarray(v)[None]]
+        qp = graph.spec(self.outputs[0]).qparams
+        arr = np.asarray(v, dtype=np.float32)
+        return [quantize(arr, qp)[None] if qp is not None else arr[None]]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        Interval = _iv().Interval
+        v = _real_param(graph, self.attrs["value"])
+        if v is None:
+            return [Interval.top()]
+        return [Interval(float(v.min()), float(v.max()))]
+
+
+class Pad(Op):
+    """Explicit spatial constant-padding of an NHWC tensor.
+
+    Mirrors the TFLite PAD operator that mobile converters emit in front of
+    stride-2 convolutions; the optimizer folds zero-padding back into a
+    following conv when the amounts match that conv's SAME padding.
+    """
+
+    op_type = "pad"
+    integer_kernel = True
+
+    def infer_shapes(self, in_shapes, graph):
+        if len(in_shapes[0]) != 4:
+            raise ShapeError(self, "pad requires a rank-4 NHWC input", in_shapes)
+        n, h, w, c = in_shapes[0]
+        t, b = self.attrs["pads_h"]
+        l, r = self.attrs["pads_w"]
+        if min(t, b, l, r) < 0:
+            raise ShapeError(self, "negative padding", in_shapes)
+        return [(n, h + t + b, w + l + r, c)]
+
+    def execute_float(self, inputs, graph):
+        value = float(self.attrs.get("value", 0.0))
+        return [
+            np.pad(
+                np.asarray(inputs[0], dtype=np.float32),
+                ((0, 0), tuple(self.attrs["pads_h"]), tuple(self.attrs["pads_w"]), (0, 0)),
+                constant_values=value,
+            )
+        ]
+
+    def execute_quantized(self, inputs, graph):
+        # pad with the quantized code of the constant (zero pads with the
+        # zero point), staying in the integer domain. The interior codes are
+        # copied verbatim, which is only valid when input and output share
+        # qparams; otherwise fall back to the float path.
+        in_qp = graph.spec(self.inputs[0]).qparams
+        out_qp = graph.spec(self.outputs[0]).qparams
+        if out_qp is None:
+            return [
+                np.pad(
+                    inputs[0],
+                    ((0, 0), tuple(self.attrs["pads_h"]), tuple(self.attrs["pads_w"]), (0, 0)),
+                )
+            ]
+        if in_qp is None or not _qparams_equal(in_qp, out_qp):
+            return super().execute_quantized(inputs, graph)
+        value = float(self.attrs.get("value", 0.0))
+        code = int(quantize(np.asarray([value], dtype=np.float32), out_qp)[0])
+        return [
+            np.pad(
+                inputs[0],
+                ((0, 0), tuple(self.attrs["pads_h"]), tuple(self.attrs["pads_w"]), (0, 0)),
+                constant_values=code,
+            )
+        ]
+
+    def infer_ranges(self, in_ranges, in_shapes, graph):
+        value = float(self.attrs.get("value", 0.0))
+        iv = in_ranges[0]
+        if not iv.is_bounded:
+            return [iv]
+        return [iv.hull(_iv().Interval.point(value))]
 
 
 class DepthToSpace(Op):

@@ -1,0 +1,525 @@
+"""Graph-rewrite optimizer: deterministic, toggleable, exactness-preserving.
+
+Mobile runtimes win latency with ahead-of-time graph rewrites as much as
+with fast kernels: TFLite, NNAPI compilers and vendor SDKs all canonicalize
+the converter's output before planning memory. This module is that layer
+for our IR — a pipeline of independent passes over a :class:`Graph`, each
+of which preserves *runtime equivalence*:
+
+* **bit-exact** on INT8/UINT8 graphs (rewrites only fire when the integer
+  codes are provably unchanged, e.g. qparams-equal requantize collapsing);
+* **bit-exact** on FP32/FP16 graphs (rewrites respect the per-op fp16
+  rounding of the reference executor — removal passes require the value
+  they forward to be op-produced, i.e. already rounded).
+
+Passes (applied in this canonical order, each individually toggleable):
+
+``fold_constants``
+    Evaluate ops whose inputs are all produced by :class:`Constant` ops,
+    using the *same* executor semantics as ``Executor.run_unplanned`` for
+    the graph's numerics, and replace them with raw constants holding the
+    computed runtime representation (integer codes / fp16-rounded floats).
+``cse``
+    Common-subexpression elimination: ops with identical type, inputs,
+    attributes and output quantization are merged.
+``cancel_reshapes``
+    Collapse reshape-of-reshape chains; remove identity reshapes and
+    single-input concats.
+``fold_pad``
+    Fold an explicit zero ``Pad`` into a following VALID conv whose SAME
+    padding would insert exactly the same rows/columns.
+``collapse_requant``
+    Remove provably-redundant activations: LUT-identity activations on
+    quantized graphs (a redundant requantize), and order-theoretic
+    redundancies (``relu`` after ``relu6`` etc.) on float graphs.
+``dce``
+    Dead-op/dead-tensor/dead-param elimination (backward reachability).
+
+Every rewriting pass self-cleans the producers it orphans, so any subset
+of passes yields a structurally valid graph. ``optimize_graph`` never
+mutates its argument: it clones, rewrites the clone to a fixpoint and
+stamps ``metadata["optimize"]`` with per-pass rewrite counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import quantized_lut
+from ..kernels.conv import conv_output_shape
+from ..kernels.numerics import Numerics, cast_fp16
+from .graph import Graph
+from .ops import ACTIVATION_FUNCTIONS, Constant, Op, _qparams_equal
+
+__all__ = ["DEFAULT_PASSES", "PASSES", "optimize_graph"]
+
+
+# -- shared rewrite plumbing --------------------------------------------------
+
+
+def _consumed(graph: Graph) -> set[str]:
+    used = {t for op in graph.ops for t in op.inputs}
+    used.update(graph.output_names)
+    return used
+
+
+def _redirect(graph: Graph, old: str, new: str) -> None:
+    """Point every consumer (and the output list) of ``old`` at ``new``."""
+    for op in graph.ops:
+        op.inputs = [new if t == old else t for t in op.inputs]
+    graph.output_names = [new if t == old else t for t in graph.output_names]
+    graph.tensor_specs.pop(old, None)
+
+
+def _redirect_would_clash(graph: Graph, old: str, new: str) -> bool:
+    """True when rewiring would leave ``new`` listed twice as a graph output."""
+    return old in graph.output_names and new in graph.output_names
+
+
+def _remove_op(graph: Graph, op: Op) -> None:
+    graph.ops.remove(op)
+    for t in op.outputs:
+        graph.tensor_specs.pop(t, None)
+    for p in op.param_names():
+        if not any(p in other.param_names() for other in graph.ops):
+            graph.params.pop(p, None)
+            graph.param_shapes.pop(p, None)
+            graph.param_qparams.pop(p, None)
+
+
+def _drop_if_dead(graph: Graph, op: Op) -> bool:
+    """Remove ``op`` when nothing consumes any of its outputs."""
+    if op not in graph.ops:
+        return False
+    used = _consumed(graph)
+    if any(t in used for t in op.outputs):
+        return False
+    _remove_op(graph, op)
+    return True
+
+
+def _producer_map(graph: Graph) -> dict[str, Op]:
+    return {t: op for op in graph.ops for t in op.outputs}
+
+
+def _effective_activation(op: Op) -> str | None:
+    """The activation provably applied last by ``op``, if any."""
+    if op.op_type == "activation":
+        return op.attrs["kind"]
+    if op.op_type == "softmax":
+        return "softmax"
+    return op.attrs.get("activation")
+
+
+def _fp16_safe_source(graph: Graph, tensor: str, producers: dict[str, Op]) -> bool:
+    """On FP16 graphs a forwarded value must already be fp16-rounded.
+
+    Graph inputs are fed raw float32 (the reference loop only rounds *op
+    outputs* through half precision), so removal rewrites may only forward
+    op-produced tensors; on other numerics there is no per-op rounding to
+    preserve.
+    """
+    if graph.numerics != Numerics.FP16:
+        return True
+    return tensor in producers
+
+
+# -- pass: constant folding ---------------------------------------------------
+
+
+def _const_outputs(op: Constant, graph: Graph) -> list[np.ndarray]:
+    if graph.numerics.is_quantized:
+        return op.execute_quantized([], graph)
+    outs = op.execute_float([], graph)
+    if graph.numerics == Numerics.FP16:
+        outs = [cast_fp16(o) if np.issubdtype(o.dtype, np.floating) else o for o in outs]
+    return outs
+
+
+def fold_constants(graph: Graph) -> int:
+    """Evaluate all-constant-input ops at compile time.
+
+    The evaluation replays ``Executor.run_unplanned`` exactly — quantized
+    ops run their integer kernels, FP16 rounds every float output through
+    half precision — and the result is stored as a ``raw`` Constant whose
+    parameter already holds the runtime representation. Re-emitting it
+    verbatim at execution time is therefore bit-exact by construction.
+    """
+    if graph.is_symbolic:
+        return 0
+    quantized = graph.numerics.is_quantized
+    fp16 = graph.numerics == Numerics.FP16
+    const_env: dict[str, np.ndarray] = {}
+    candidates: list[Constant] = []
+    folded = 0
+    new_ops: list[Op] = []
+    for op in graph.ops:
+        if isinstance(op, Constant):
+            const_env[op.outputs[0]] = _const_outputs(op, graph)[0]
+            candidates.append(op)
+            new_ops.append(op)
+            continue
+        if not op.inputs or not all(t in const_env for t in op.inputs):
+            new_ops.append(op)
+            continue
+        ins = [const_env[t] for t in op.inputs]
+        if quantized:
+            outs = op.execute_quantized(ins, graph)
+        else:
+            outs = op.execute_float(ins, graph)
+            if fp16:
+                outs = [
+                    cast_fp16(o) if np.issubdtype(o.dtype, np.floating) else o for o in outs
+                ]
+        for i, (t, arr) in enumerate(zip(op.outputs, outs)):
+            base = f"{op.name}/folded" if len(op.outputs) == 1 else f"{op.name}/folded_{i}"
+            pname = base
+            k = 0
+            while pname in graph.params:
+                k += 1
+                pname = f"{base}.{k}"
+            graph.params[pname] = np.ascontiguousarray(arr[0])
+            graph.param_shapes[pname] = tuple(int(d) for d in arr[0].shape)
+            const = Constant(pname, [], [t], value=pname, raw=True)
+            const_env[t] = arr
+            candidates.append(const)
+            new_ops.append(const)
+        folded += 1
+    if folded:
+        graph.ops = new_ops
+        # constants whose every consumer has been folded away are now dead
+        for op in candidates:
+            _drop_if_dead(graph, op)
+    return folded
+
+
+# -- pass: common-subexpression elimination -----------------------------------
+
+
+def _attr_key(value) -> object:
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_attr_key(v) for v in value)
+    return value
+
+
+def _qp_key(qp) -> object:
+    if qp is None:
+        return None
+    return (
+        qp.numerics.value,
+        qp.axis,
+        qp.scale.tobytes(),
+        qp.zero_point.tobytes(),
+    )
+
+
+def _op_signature(op: Op, graph: Graph) -> tuple:
+    attrs = tuple(sorted((k, _attr_key(v)) for k, v in op.attrs.items()))
+    out_sig = tuple(
+        (graph.spec(t).shape, _qp_key(graph.spec(t).qparams)) for t in op.outputs
+    )
+    return (op.op_type, tuple(op.inputs), attrs, out_sig)
+
+
+def cse(graph: Graph) -> int:
+    """Merge ops computing the identical value.
+
+    The signature covers op type, input tensors, attributes (parameter
+    *names* identify parameter arrays — duplicate names cannot exist) and
+    the output quantization, so merged outputs carry byte-identical codes
+    in every numerics mode. Duplicates whose outputs are graph outputs are
+    kept (merging would alias two declared output names).
+    """
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        seen: dict[tuple, Op] = {}
+        for op in list(graph.ops):
+            sig = _op_signature(op, graph)
+            keep = seen.get(sig)
+            if keep is None:
+                seen[sig] = op
+                continue
+            if any(t in graph.output_names for t in op.outputs):
+                continue
+            for old, new in zip(op.outputs, keep.outputs):
+                _redirect(graph, old, new)
+            _remove_op(graph, op)
+            merged += 1
+            changed = True
+    return merged
+
+
+# -- pass: reshape/concat cancellation ----------------------------------------
+
+
+def _removable_identity(graph: Graph, op: Op, producers: dict[str, Op]) -> bool:
+    """Shared guards for forwarding ``op.inputs[0]`` in place of its output."""
+    src, dst = op.inputs[0], op.outputs[0]
+    if _redirect_would_clash(graph, dst, src):
+        return False
+    if not _fp16_safe_source(graph, src, producers):
+        return False
+    if graph.numerics.is_quantized and not _qparams_equal(
+        graph.spec(src).qparams, graph.spec(dst).qparams
+    ):
+        return False
+    return True
+
+
+def cancel_reshapes(graph: Graph) -> int:
+    """Collapse reshape chains and drop identity reshapes / 1-ary concats.
+
+    A reshape reads and writes the same bytes, so ``reshape(reshape(x))``
+    always equals ``reshape(x)`` with the outer target shape — the chain
+    collapse is unconditional. *Removing* a reshape (identity shape) or a
+    single-input concat forwards a tensor, which needs the qparams/fp16
+    guards of :func:`_removable_identity`.
+    """
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_map(graph)
+        for op in list(graph.ops):
+            if op.op_type == "reshape":
+                src = producers.get(op.inputs[0])
+                if src is not None and src.op_type == "reshape" and src is not op:
+                    op.inputs[0] = src.inputs[0]
+                    rewrites += 1
+                    changed = True
+                    _drop_if_dead(graph, src)
+                    break
+                in_shape = graph.spec(op.inputs[0]).shape
+                out_shape = graph.spec(op.outputs[0]).shape
+                if tuple(in_shape) == tuple(out_shape) and _removable_identity(
+                    graph, op, producers
+                ):
+                    _redirect(graph, op.outputs[0], op.inputs[0])
+                    graph.ops.remove(op)
+                    rewrites += 1
+                    changed = True
+                    break
+            elif op.op_type == "concat" and len(op.inputs) == 1:
+                if _removable_identity(graph, op, producers):
+                    _redirect(graph, op.outputs[0], op.inputs[0])
+                    graph.ops.remove(op)
+                    rewrites += 1
+                    changed = True
+                    break
+    return rewrites
+
+
+# -- pass: pad-into-conv folding ----------------------------------------------
+
+
+def fold_pad(graph: Graph) -> int:
+    """Fold an explicit zero ``Pad`` into a following VALID convolution.
+
+    Fires only when the pad amounts are *exactly* the (top,bottom)/(left,
+    right) rows SAME padding would insert for the pre-pad input — then the
+    conv's internal ``pad_input`` reproduces the identical padded tensor
+    (zeros in float, the zero-point code in quantized graphs, where the
+    rewrite additionally requires the pad to be a code-preserving copy:
+    qparams equal across it).
+    """
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_map(graph)
+        consumers: dict[str, int] = {}
+        for op in graph.ops:
+            for t in op.inputs:
+                consumers[t] = consumers.get(t, 0) + 1
+        for op in list(graph.ops):
+            if op.op_type not in ("conv2d", "depthwise_conv2d"):
+                continue
+            if op.attrs["padding"] != "valid":
+                continue
+            pad = producers.get(op.inputs[0])
+            if pad is None or pad.op_type != "pad":
+                continue
+            if float(pad.attrs.get("value", 0.0)) != 0.0:
+                continue
+            if not _fp16_safe_source(graph, pad.inputs[0], producers):
+                continue
+            if graph.numerics.is_quantized and not _qparams_equal(
+                graph.spec(pad.inputs[0]).qparams, graph.spec(pad.outputs[0]).qparams
+            ):
+                continue
+            pre = graph.spec(pad.inputs[0]).shape
+            if len(pre) != 4:
+                continue
+            kh, kw = graph.param_shape(op.attrs["weight"])[:2]
+            stride = op.attrs["stride"]
+            dilation = op.attrs.get("dilation", 1)
+            try:
+                oh, ow, pads_h, pads_w = conv_output_shape(
+                    pre[1], pre[2], kh, kw, stride, "same", dilation
+                )
+            except ValueError:
+                continue
+            if pads_h != tuple(pad.attrs["pads_h"]) or pads_w != tuple(pad.attrs["pads_w"]):
+                continue
+            cur = graph.spec(op.outputs[0]).shape
+            if (oh, ow) != (cur[1], cur[2]):
+                continue
+            op.inputs[0] = pad.inputs[0]
+            op.attrs["padding"] = "same"
+            rewrites += 1
+            changed = True
+            _drop_if_dead(graph, pad)
+            break
+    return rewrites
+
+
+# -- pass: redundant-requantize / redundant-activation collapsing -------------
+
+# producer activations after which applying the keyed activation is the
+# identity on the reachable output range (relu: [0,∞); relu6 & the sigmoids
+# and softmax: ⊆ [0,6])
+_REDUNDANT_AFTER = {
+    "relu": {"relu", "relu6", "sigmoid", "hard_sigmoid", "softmax"},
+    "relu6": {"relu6", "sigmoid", "hard_sigmoid", "softmax"},
+}
+
+
+def _identity_lut(in_qp, out_qp, kind: str) -> bool:
+    lut = quantized_lut(ACTIVATION_FUNCTIONS[kind], in_qp, out_qp)
+    lo, hi = in_qp.numerics.qmin, in_qp.numerics.qmax
+    return bool(
+        np.array_equal(lut, np.arange(lo, hi + 1, dtype=np.int64).astype(lut.dtype))
+    )
+
+
+def collapse_requant(graph: Graph) -> int:
+    """Remove activation ops that provably change no value.
+
+    Quantized graphs: an ``Activation`` executes as one 256-entry LUT
+    (dequantize → f → requantize, precomputed); when that LUT is the
+    identity permutation the op is a redundant requantize and its removal
+    is bit-exact. Float graphs: an activation is dropped when its
+    producer's own (fused) activation already confines the range to the
+    activation's fixpoint set (``relu`` after ``relu6``, …).
+    """
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        producers = _producer_map(graph)
+        for op in list(graph.ops):
+            if op.op_type != "activation":
+                continue
+            src, dst = op.inputs[0], op.outputs[0]
+            if _redirect_would_clash(graph, dst, src):
+                continue
+            removable = False
+            if graph.numerics.is_quantized:
+                in_qp = graph.spec(src).qparams
+                out_qp = graph.spec(dst).qparams
+                removable = (
+                    in_qp is not None
+                    and out_qp is not None
+                    and _qparams_equal(in_qp, out_qp)
+                    and _identity_lut(in_qp, out_qp, op.attrs["kind"])
+                )
+            else:
+                prod = producers.get(src)
+                if prod is not None and _fp16_safe_source(graph, src, producers):
+                    removable = (
+                        _effective_activation(prod)
+                        in _REDUNDANT_AFTER.get(op.attrs["kind"], ())
+                    )
+            if not removable:
+                continue
+            _redirect(graph, dst, src)
+            graph.ops.remove(op)
+            rewrites += 1
+            changed = True
+            break
+    return rewrites
+
+
+# -- pass: dead-code elimination ----------------------------------------------
+
+
+def dce(graph: Graph) -> int:
+    """Drop ops (and their tensors/params) that reach no graph output."""
+    live = set(graph.output_names)
+    keep: list[Op] = []
+    removed: list[Op] = []
+    for op in reversed(graph.ops):
+        if any(t in live for t in op.outputs):
+            live.update(op.inputs)
+            keep.append(op)
+        else:
+            removed.append(op)
+    if not removed:
+        return 0
+    graph.ops = list(reversed(keep))
+    used_params = {p for op in graph.ops for p in op.param_names()}
+    for op in removed:
+        for t in op.outputs:
+            graph.tensor_specs.pop(t, None)
+        for p in op.param_names():
+            if p not in used_params:
+                graph.params.pop(p, None)
+                graph.param_shapes.pop(p, None)
+                graph.param_qparams.pop(p, None)
+    return len(removed)
+
+
+# -- driver -------------------------------------------------------------------
+
+PASSES = {
+    "fold_constants": fold_constants,
+    "cse": cse,
+    "cancel_reshapes": cancel_reshapes,
+    "fold_pad": fold_pad,
+    "collapse_requant": collapse_requant,
+    "dce": dce,
+}
+
+DEFAULT_PASSES = tuple(PASSES)
+
+_MAX_ROUNDS = 3
+
+
+def optimize_graph(
+    graph: Graph, passes: tuple[str, ...] | list[str] | None = None
+) -> Graph:
+    """Run the rewrite pipeline on a clone of ``graph`` until fixpoint.
+
+    ``passes`` selects (and orders) a subset of :data:`PASSES`; ``None``
+    runs the full canonical pipeline. The input graph is never mutated.
+    The returned clone validates, keeps the input's frozen state, and
+    carries ``metadata["optimize"] = {"passes": {...}, "total": n}``;
+    when any rewrite fired the (now stale) staticcheck attestation stamp
+    is dropped, since it was keyed to the pre-rewrite checksum.
+    """
+    names = tuple(passes) if passes is not None else DEFAULT_PASSES
+    for n in names:
+        if n not in PASSES:
+            raise KeyError(f"unknown optimize pass {n!r} (known: {sorted(PASSES)})")
+    g = graph.clone()
+    g.frozen = False
+    counts = {n: 0 for n in names}
+    for _ in range(_MAX_ROUNDS):
+        round_total = 0
+        for n in names:
+            applied = PASSES[n](g)
+            counts[n] += applied
+            round_total += applied
+        if round_total == 0:
+            break
+    total = sum(counts.values())
+    g.metadata["optimize"] = {"passes": counts, "total": total}
+    if total:
+        g.metadata.pop("staticcheck", None)
+    g.validate()
+    g.frozen = graph.frozen
+    return g

@@ -25,6 +25,7 @@ __all__ = ["AcceleratorSpec", "OP_SUPPORT"]
 _NPU_OPS = {
     "conv2d", "depthwise_conv2d", "fully_connected", "avg_pool2d", "max_pool2d",
     "global_avg_pool", "add", "concat", "activation", "reshape", "depth_to_space",
+    "constant", "pad",
 }
 _DSP_OPS = set(_NPU_OPS)
 _GPU_OPS = _NPU_OPS | {"softmax", "layer_norm", "attention", "embedding", "split",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..graph.arena import graph_arena_bytes
 from ..graph.graph import Graph
 from ..kernels.numerics import Numerics
 from .accelerator import AcceleratorSpec
@@ -140,6 +141,10 @@ class CompiledModel:
     # and post-processing and other tasks the benchmark does not measure");
     # end-to-end mode (App. E) adds it to the measured latency
     preprocess_cpu_ops: float = 0.0
+    # planned activation working set per sample (arena planner, repro.graph
+    # .arena); 0.0 means unknown and the naive every-tensor-resident sum of
+    # segment activation bytes is used instead
+    arena_bytes_per_sample: float = 0.0
 
     @property
     def num_boundaries(self) -> int:
@@ -209,14 +214,19 @@ def offline_throughput(
 
     Each pipeline runs the whole graph on its own engine; their throughputs
     add until the shared DRAM interface saturates (the reason offline FPS on
-    phones lands far below naive per-engine sums).
+    phones lands far below naive per-engine sums). The per-sample DRAM
+    traffic is the arena-planned working set when the compile recorded one
+    (a runtime reusing buffers re-touches far fewer unique bytes), falling
+    back to the naive every-tensor sum otherwise.
     """
     if not pipelines:
         raise ValueError("need at least one pipeline")
     total = sum(batch / p.latency_seconds(batch=batch) for p in pipelines)
     if dram_gbps is None:
         dram_gbps = pipelines[0].soc.dram_gbps
-    bytes_per_sample = sum(seg.activation_bytes for seg in pipelines[0].segments)
+    bytes_per_sample = pipelines[0].arena_bytes_per_sample or sum(
+        seg.activation_bytes for seg in pipelines[0].segments
+    )
     cap = dram_gbps * 1e9 / max(bytes_per_sample, 1.0)
     return min(total, cap)
 
@@ -239,6 +249,7 @@ def compile_model(
     segments = partition_graph(
         graph, primary_acc, fallback, numerics, secondary_acc, framework.unsupported_ops
     )
+    arena = graph_arena_bytes(graph, numerics)
     return CompiledModel(
         model_name=graph.name,
         task=str(graph.metadata.get("task", "unknown")),
@@ -248,4 +259,5 @@ def compile_model(
         framework=framework,
         postprocess_cpu_ops=postprocess_cpu_ops,
         preprocess_cpu_ops=preprocess_cpu_ops,
+        arena_bytes_per_sample=float(arena["planned_bytes"]),
     )

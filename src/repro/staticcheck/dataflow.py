@@ -117,6 +117,17 @@ def _rule_depth_to_space(op, ins, g):
     return [(n, h * b, w * b, c // (b * b))]
 
 
+def _rule_constant(op, ins, g):
+    return [(-1,) + g.param_shape(op.attrs["value"])]
+
+
+def _rule_pad(op, ins, g):
+    n, h, w, c = ins[0]
+    t, b = op.attrs["pads_h"]
+    left, r = op.attrs["pads_w"]
+    return [(n, h + t + b, w + left + r, c)]
+
+
 _SHAPE_RULES = {
     "conv2d": _rule_conv2d,
     "depthwise_conv2d": _rule_depthwise,
@@ -137,6 +148,8 @@ _SHAPE_RULES = {
     "split": _rule_split,
     "lstm": _rule_lstm,
     "depth_to_space": _rule_depth_to_space,
+    "constant": _rule_constant,
+    "pad": _rule_pad,
 }
 
 

@@ -1,0 +1,317 @@
+"""Graph-rewrite optimizer: per-pass coverage, idempotency, zoo equivalence.
+
+Every pass gets the ISSUE-mandated trio: a graph it rewrites, a graph it
+must leave untouched, and a pass-squared idempotency check. The zoo sweep
+then proves the full pipeline preserves runtime behaviour in all four
+numerics — bit-exact on the integer paths.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.graph import ExecutionPlan, Executor, export_mobile
+from repro.graph.builder import GraphBuilder
+from repro.graph.optimize import DEFAULT_PASSES, PASSES, optimize_graph
+from repro.kernels import Numerics
+from repro.models import available_models, create_reference_model
+from repro.quantization import calibrate, convert_fp16, quantize_graph
+
+NUMERICS_MODES = [Numerics.FP32, Numerics.FP16, Numerics.INT8, Numerics.UINT8]
+
+
+def build_rewritable():
+    """One synthetic graph that every removal pass has work on.
+
+    pad->valid-conv (fold_pad), a collapsible reshape chain whose collapse
+    exposes an identity reshape (cancel_reshapes x2), duplicate relu ops
+    (cse), a relu that becomes provably redundant once it sits behind the
+    relu-fused conv (collapse_requant), and a relu of a Constant
+    (fold_constants).
+    """
+    b = GraphBuilder("rw")
+    x = b.input("x", (-1, 8, 8, 3))
+    p = b.pad(x, (1, 1), (1, 1), name="pre_pad")
+    c1 = b.conv(p, 8, k=3, stride=1, padding="valid", activation="relu", name="c1")
+    r1 = b.reshape(c1, (8, 8 * 8), name="r1")
+    r2 = b.reshape(r1, (8, 8, 8), name="r2")
+    a1 = b.activation(r2, "relu", name="dup_a")
+    a2 = b.activation(r2, "relu", name="dup_b")
+    s = b.add(a1, a2, name="sum")
+    rr = b.activation(s, "relu", name="redundant_relu")
+    k = b.constant(
+        np.linspace(-1, 1, 8 * 8 * 8).astype(np.float32).reshape(8, 8, 8), name="kconst"
+    )
+    ka = b.activation(k, "relu", name="kact")
+    out = b.add(rr, ka, name="mix")
+    b.outputs(out)
+    return b.build()
+
+
+def build_plain():
+    """A graph no pass may touch: distinct ops, useful reshape, no constants."""
+    b = GraphBuilder("plain")
+    x = b.input("x", (-1, 8, 8, 3))
+    c = b.conv(x, 4, k=3, activation="relu", name="c0")
+    d = b.dwconv(c, k=3, name="d0")
+    r = b.reshape(d, (8 * 8 * 4,), name="flat")
+    f = b.fc(r, 10, name="head")
+    out = b.softmax(f, name="probs")
+    b.outputs(out)
+    return b.build()
+
+
+# solo rewrite counts on build_rewritable(): collapse_requant and dce only
+# fire after other passes expose their opportunity, so solo they are 0
+EXPECTED_SOLO = {
+    "fold_constants": 1,
+    "cse": 1,
+    "cancel_reshapes": 2,
+    "fold_pad": 1,
+    "collapse_requant": 0,
+    "dce": 0,
+}
+
+EXPECTED_PIPELINE = {
+    "fold_constants": 1,
+    "cse": 1,
+    "cancel_reshapes": 2,
+    "fold_pad": 1,
+    "collapse_requant": 1,
+    "dce": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def rewritable():
+    g = build_rewritable()
+    rng = np.random.default_rng(0)
+    feeds = {"x": rng.normal(0, 1, (2, 8, 8, 3)).astype(np.float32)}
+    stats = calibrate(g, [feeds])
+    return g, feeds, stats
+
+
+class TestPipeline:
+    def test_full_pipeline_counts_and_purity(self, rewritable):
+        g, _, _ = rewritable
+        before = len(g.ops)
+        opt = optimize_graph(g)
+        assert opt.metadata["optimize"]["passes"] == EXPECTED_PIPELINE
+        assert opt.metadata["optimize"]["total"] == 6
+        assert (before, len(opt.ops)) == (11, 5)
+        # the input graph is never mutated
+        assert len(g.ops) == before and "optimize" not in g.metadata
+        opt.validate()
+
+    def test_pipeline_idempotent(self, rewritable):
+        g, _, _ = rewritable
+        opt = optimize_graph(g)
+        again = optimize_graph(opt)
+        assert again.metadata["optimize"]["total"] == 0
+        assert [(o.name, o.op_type) for o in again.ops] == [
+            (o.name, o.op_type) for o in opt.ops
+        ]
+
+    @pytest.mark.parametrize("numerics", [Numerics.INT8, Numerics.UINT8],
+                             ids=lambda n: n.value)
+    def test_quantized_pipeline_gains_identity_lut_removal(self, rewritable, numerics):
+        """Integer graphs admit one extra rewrite: the qparams-equal relu
+        behind the already-clamped conv is an identity LUT."""
+        g, _, stats = rewritable
+        dep = quantize_graph(g, stats, numerics)
+        opt = optimize_graph(dep)
+        assert opt.metadata["optimize"]["total"] == 7
+        assert len(opt.ops) == 4
+
+    def test_fp16_blocks_unrounded_forwarding(self, rewritable):
+        """fold_pad must not fire on FP16: it would forward the raw float32
+        graph input past the per-op half rounding the pad applied."""
+        g, _, _ = rewritable
+        dep = convert_fp16(g)
+        opt = optimize_graph(dep)
+        assert opt.metadata["optimize"]["total"] == 5
+        assert opt.metadata["optimize"]["passes"]["fold_pad"] == 0
+        assert len(opt.ops) == 6
+
+    def test_unknown_pass_rejected(self, rewritable):
+        g, _, _ = rewritable
+        with pytest.raises(KeyError):
+            optimize_graph(g, passes=("fold_constants", "inline_everything"))
+
+    def test_default_passes_cover_catalog(self):
+        assert set(DEFAULT_PASSES) == set(PASSES)
+
+    def test_plan_only_swaps_graph_when_rewrites_fire(self, rewritable):
+        g, _, _ = rewritable
+        plan = ExecutionPlan(g)
+        assert plan.optimize_stats["total"] == 6
+        assert plan.graph is not plan.source_graph
+        plain = build_plain()
+        unchanged = ExecutionPlan(plain)
+        assert unchanged.optimize_stats["total"] == 0
+        assert unchanged.graph is plain
+
+    def test_export_mobile_optimize_flag(self, rewritable):
+        g, feeds, _ = rewritable
+        ref = export_mobile(g)
+        opt = export_mobile(g, optimize=True)
+        assert opt.metadata["optimize"]["total"] > 0
+        assert len(opt.ops) < len(ref.ops)
+        a = Executor(ref).run_unplanned(feeds)
+        b = Executor(opt).run_unplanned(feeds)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+
+class TestPerPass:
+    @pytest.mark.parametrize("pname", list(PASSES))
+    def test_solo_counts_and_equivalence(self, rewritable, pname):
+        """(a) each pass fires the expected number of times on its own and
+        preserves the graph's outputs."""
+        g, feeds, _ = rewritable
+        solo = optimize_graph(g, passes=(pname,))
+        solo.validate()
+        assert solo.metadata["optimize"]["passes"][pname] == EXPECTED_SOLO[pname]
+        ref = Executor(g).run_unplanned(feeds)
+        got = ExecutionPlan(solo, optimize=False).run(feeds)
+        for name in ref:
+            np.testing.assert_allclose(ref[name], got[name], rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("pname", list(PASSES))
+    def test_leaves_plain_graph_unchanged(self, pname):
+        """(b) a graph with nothing to rewrite comes back structurally equal."""
+        g = build_plain()
+        solo = optimize_graph(g, passes=(pname,))
+        assert solo.metadata["optimize"]["total"] == 0
+        assert [(o.name, o.op_type) for o in solo.ops] == [
+            (o.name, o.op_type) for o in g.ops
+        ]
+        assert solo.output_names == g.output_names
+
+    @pytest.mark.parametrize("pname", list(PASSES))
+    def test_pass_squared_is_pass(self, rewritable, pname):
+        """(c) applying any pass to its own output rewrites nothing."""
+        g, _, _ = rewritable
+        once = optimize_graph(g, passes=(pname,))
+        twice = optimize_graph(once, passes=(pname,))
+        assert twice.metadata["optimize"]["total"] == 0
+
+    def test_collapse_requant_fires_after_fused_producer(self):
+        """Dedicated positive for collapse_requant: relu directly behind a
+        relu-fused conv is provably the identity."""
+        b = GraphBuilder("rr")
+        x = b.input("x", (-1, 8, 8, 3))
+        c = b.conv(x, 4, k=3, activation="relu", name="c")
+        r = b.activation(c, "relu", name="r")
+        b.outputs(r)
+        g = b.build()
+        rng = np.random.default_rng(3)
+        feeds = {"x": rng.normal(0, 1, (2, 8, 8, 3)).astype(np.float32)}
+        solo = optimize_graph(g, passes=("collapse_requant",))
+        assert solo.metadata["optimize"]["passes"]["collapse_requant"] == 1
+        ref = Executor(g).run_unplanned(feeds)
+        got = Executor(solo).run_unplanned(feeds)
+        np.testing.assert_array_equal(
+            next(iter(ref.values())), next(iter(got.values()))
+        )
+
+    def test_dce_drops_unconsumed_branch(self):
+        """Dedicated positive for dce: a producer nothing reads is removed
+        (built without validate(), whose dead-end check would reject it)."""
+        b = GraphBuilder("dead")
+        x = b.input("x", (-1, 8, 8, 3))
+        live = b.conv(x, 4, k=3, name="live")
+        b.conv(x, 4, k=3, name="dead")
+        b.outputs(live)
+        g = b.graph
+        solo = optimize_graph(g, passes=("dce",))
+        assert solo.metadata["optimize"]["passes"]["dce"] == 1
+        assert [o.name for o in solo.ops] == ["live"]
+        assert "dead/w" not in solo.params
+        solo.validate()
+
+    def test_fold_pad_rejects_nonzero_value(self):
+        b = GraphBuilder("nz")
+        x = b.input("x", (-1, 8, 8, 3))
+        p = b.pad(x, (1, 1), (1, 1), value=0.5, name="pre_pad")
+        out = b.conv(p, 4, k=3, padding="valid", name="c")
+        b.outputs(out)
+        solo = optimize_graph(b.build(), passes=("fold_pad",))
+        assert solo.metadata["optimize"]["total"] == 0
+
+    def test_cse_respects_distinct_attrs(self):
+        b = GraphBuilder("na")
+        x = b.input("x", (-1, 8, 8, 3))
+        a = b.activation(x, "relu", name="a")
+        c = b.activation(x, "relu6", name="c")
+        b.outputs(b.add(a, c, name="o"))
+        solo = optimize_graph(b.build(), passes=("cse",))
+        assert solo.metadata["optimize"]["total"] == 0
+
+
+# -- zoo-wide equivalence sweep ------------------------------------------------
+
+
+def _random_feeds(graph, rng, batch=2):
+    feeds = {}
+    for spec in graph.inputs:
+        shape = spec.with_batch(batch)
+        if spec.role == "ids":
+            feeds[spec.name] = rng.integers(0, 28, size=shape).astype(np.float32)
+        elif spec.role == "mask":
+            feeds[spec.name] = np.ones(shape, dtype=np.float32)
+        else:
+            feeds[spec.name] = rng.normal(0, 0.5, size=shape).astype(np.float32)
+    return feeds
+
+
+@pytest.fixture(scope="module", params=available_models())
+def opt_zoo_artifacts(request):
+    name = request.param
+    bundle = create_reference_model(name, fitted=False)
+    exported = export_mobile(bundle.graph)
+    rng = np.random.default_rng(zlib.crc32(name.encode()))
+    feeds = _random_feeds(exported, rng)
+    stats = calibrate(exported, [feeds])
+    return exported, feeds, stats
+
+
+def _deployment(exported, stats, numerics):
+    if numerics == Numerics.FP32:
+        return exported
+    if numerics == Numerics.FP16:
+        return convert_fp16(exported)
+    return quantize_graph(exported, stats, numerics)
+
+
+class TestZooEquivalence:
+    @pytest.mark.parametrize("numerics", NUMERICS_MODES, ids=lambda n: n.value)
+    def test_optimized_and_arena_match_unplanned(self, opt_zoo_artifacts, numerics):
+        """Optimized plan + arena execution == legacy loop, across the zoo.
+
+        Bit-exact on INT8/UINT8 (and, with zero rewrites on these graphs,
+        on the float paths too); the steady-state arena run is exercised
+        twice so buffer reuse across calls is covered.
+        """
+        exported, feeds, stats = opt_zoo_artifacts
+        graph = _deployment(exported, stats, numerics)
+        ref = Executor(graph).run_unplanned(feeds)
+
+        opt = optimize_graph(graph)
+        planned = ExecutionPlan(opt, optimize=False).run(feeds)
+
+        plan = ExecutionPlan(graph)  # optimize=True by default
+        arena_record = plan.run_arena(feeds)
+        arena_steady = plan.run_arena(feeds)
+        arena_again = plan.run_arena(feeds)
+
+        exact = numerics.is_quantized or opt.metadata["optimize"]["total"] == 0
+        for name in ref:
+            for got in (planned, arena_record, arena_steady, arena_again):
+                if exact:
+                    np.testing.assert_array_equal(ref[name], got[name])
+                else:
+                    np.testing.assert_allclose(
+                        ref[name], got[name], rtol=1e-5, atol=1e-6
+                    )

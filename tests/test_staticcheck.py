@@ -418,10 +418,10 @@ def test_bp004_fires_when_fallback_owns_the_macs():
 
 
 # ---------------------------------------------------------------------------
-# plan rules PL001-PL006 (tampered execution plans)
+# plan rules PL001-PL007 (tampered execution plans / corrupted arena layouts)
 # ---------------------------------------------------------------------------
 
-PLAN_RULES = {"PL001", "PL002", "PL003", "PL004", "PL005", "PL006"}
+PLAN_RULES = {"PL001", "PL002", "PL003", "PL004", "PL005", "PL006", "PL007"}
 
 
 def _toy_plan():
@@ -474,6 +474,62 @@ def test_pl006_read_of_undefined_tensor():
     plan._steps[0].inputs = plan._steps[0].inputs + ("phantom",)
     findings = check_plan(plan)
     assert any(f.rule_id == "PL006" and f.tensor == "phantom" for f in findings)
+
+
+def _corrupt_slot(layout, name, **overrides):
+    from repro.graph.arena import ArenaLayout, ArenaSlot
+
+    s = layout.slots[name]
+    fields = {"name": s.name, "key": s.key, "offset": s.offset,
+              "nbytes": s.nbytes, "first": s.first, "last": s.last}
+    fields.update(overrides)
+    slots = dict(layout.slots)
+    slots[name] = ArenaSlot(**fields)
+    return ArenaLayout(slots=slots, arena_bytes=layout.arena_bytes,
+                       alignment=layout.alignment)
+
+
+def test_pl007_overlapping_live_slots():
+    from repro.staticcheck import check_arena_layout
+
+    plan = _toy_plan()
+    layout = plan.arena_layout(batch=1)
+    a = next(iter(layout.slots.values()))
+    victim = next(
+        n for n, b in layout.slots.items()
+        if n != a.name and b.key == a.key
+        and a.first <= b.last and b.first <= a.last
+    )
+    broken = _corrupt_slot(layout, victim, offset=a.offset)
+    assert check_arena_layout(plan, layout) == []
+    assert "PL007" in _ids(check_arena_layout(plan, broken))
+
+
+def test_pl007_interval_disagrees_with_replay():
+    from repro.staticcheck import check_arena_layout
+
+    plan = _toy_plan()
+    layout = plan.arena_layout(batch=1)
+    name = next(iter(layout.slots))
+    s = layout.slots[name]
+    broken = _corrupt_slot(layout, name, last=s.last + 1)
+    assert any(
+        f.rule_id == "PL007" and f.tensor == name
+        for f in check_arena_layout(plan, broken)
+    )
+
+
+def test_pl007_undersized_slot():
+    from repro.staticcheck import check_arena_layout
+
+    plan = _toy_plan()
+    layout = plan.arena_layout(batch=1)
+    name = next(iter(layout.slots))
+    broken = _corrupt_slot(layout, name, nbytes=layout.slots[name].nbytes // 2)
+    assert any(
+        f.rule_id == "PL007" and "bytes" in f.message
+        for f in check_arena_layout(plan, broken)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -725,6 +781,19 @@ def _fz_depth_to_space():
     return b.build()
 
 
+def _fz_constant():
+    b, x = _fz_image("fz_constant", ch=4)
+    k = b.constant(np.linspace(-1.5, 1.5, 8 * 8 * 4, dtype=np.float32).reshape(8, 8, 4))
+    b.outputs(b.add(x, k))
+    return b.build()
+
+
+def _fz_pad():
+    b, x = _fz_image("fz_pad")
+    b.outputs(b.conv(b.pad(x, (1, 1), (1, 1), value=0.5), 4, k=3, padding="valid"))
+    return b.build()
+
+
 FUZZ_BUILDERS = {
     "conv2d": _fz_conv,
     "depthwise_conv2d": _fz_dwconv,
@@ -745,6 +814,8 @@ FUZZ_BUILDERS = {
     "split": _fz_split,
     "lstm": _fz_lstm,
     "depth_to_space": _fz_depth_to_space,
+    "constant": _fz_constant,
+    "pad": _fz_pad,
 }
 
 
